@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Instance List Mach_sim Measure Printf String Test Time Toolkit

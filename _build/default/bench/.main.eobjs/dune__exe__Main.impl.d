@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Bench_util List Mach_core Mach_hw Mach_kern Mach_kernel Mach_ksync Mach_sim Mach_vm Option Printf Staged String Sys Test

@@ -1,0 +1,70 @@
+(* Shared infrastructure for the experiment harness: table printing, sim
+   runs with fixed configurations, and a thin Bechamel wrapper for native
+   per-operation costs. *)
+
+module Engine = Mach_sim.Sim_engine
+module Config = Mach_sim.Sim_config
+
+let printf = Printf.printf
+
+let section ~id ~title ~claim =
+  printf "\n%s\n" (String.make 78 '=');
+  printf "%s: %s\n" id title;
+  printf "paper claim: %s\n" claim;
+  printf "%s\n" (String.make 78 '-')
+
+let table ~header rows =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    List.iter2 (fun w cell -> printf "%-*s  " w cell) widths row;
+    printf "\n"
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+(* Run a workload on the simulated machine with the bench configuration
+   and return the stats. *)
+let sim_run ?(cpus = 8) ?(seed = 3) f =
+  let cfg = { (Config.bench ~cpus ()) with Config.seed } in
+  Engine.run ~cfg f
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i = string_of_int
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: native per-operation costs                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns (name, ns/run) for each test. *)
+let bechamel_run tests =
+  let open Bechamel in
+  let open Toolkit in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.map
+    (fun test ->
+      let results =
+        List.concat_map
+          (fun t ->
+            let raw = Benchmark.run cfg [ instance ] t in
+            let est = Analyze.one ols instance raw in
+            match Analyze.OLS.estimates est with
+            | Some [ ns ] -> [ (Test.Elt.name t, ns) ]
+            | _ -> [ (Test.Elt.name t, nan) ])
+          (Test.elements test)
+      in
+      (Test.name test, results))
+    tests

@@ -1,0 +1,897 @@
+(* The experiment harness.
+
+   "Locking and Reference Counting in the Mach Kernel" (ICPP 1991) is an
+   experience paper with no numbered tables or figures; experiments E1-E12
+   below (defined in DESIGN.md, results recorded in EXPERIMENTS.md) each
+   operationalize one of its qualitative claims.  Every invocation
+   regenerates every table; pass experiment ids (e.g. `E1 E4`) to run a
+   subset.
+
+   The simulated multiprocessor's cycle model plays the role of the
+   paper's shared-bus testbeds (VAX 6000 / Encore Multimax / Sequent
+   Symmetry); the N0 section measures native per-operation costs with
+   Bechamel on real hardware for calibration. *)
+
+module Engine = Mach_sim.Sim_engine
+module Config = Mach_sim.Sim_config
+module Explore = Mach_sim.Sim_explore
+module Spin = Mach_core.Spin
+module Stats = Mach_core.Lock_stats
+module K = Mach_ksync.Ksync
+module Vm = Mach_vm
+module Scenarios = Mach_kernel.Scenarios
+module Kernel = Mach_kernel.Kernel
+open Bench_util
+
+let cpu_sweep = [ 1; 2; 4; 8; 16 ]
+
+(* ================================================================== *)
+(* N0: native per-operation costs (Bechamel, real multicore hardware)  *)
+(* ================================================================== *)
+
+module N0 = struct
+  let run () =
+    section ~id:"N0" ~title:"native per-operation costs (Bechamel)"
+      ~claim:
+        "calibration only: uncontended primitive costs on the host machine";
+    let open Bechamel in
+    let module HS = Mach_hw.Hw_sync in
+    let slock = HS.Slock.make ~name:"bench" () in
+    let clock = HS.Clock.make ~name:"bench" ~can_sleep:false () in
+    let refc = HS.Ref.make () in
+    let cell = Mach_hw.Hw_machine.Cell.make 0 in
+    let tests =
+      [
+        Test.make_grouped ~name:"native" ~fmt:"%s %s"
+          [
+            Test.make ~name:"atomic test-and-set"
+              (Staged.stage (fun () ->
+                   ignore (Mach_hw.Hw_machine.Cell.test_and_set cell);
+                   Mach_hw.Hw_machine.Cell.set cell 0));
+            Test.make ~name:"simple lock/unlock"
+              (Staged.stage (fun () ->
+                   HS.Slock.lock slock;
+                   HS.Slock.unlock slock));
+            Test.make ~name:"complex read/done"
+              (Staged.stage (fun () ->
+                   HS.Clock.lock_read clock;
+                   HS.Clock.lock_done clock));
+            Test.make ~name:"complex write/done"
+              (Staged.stage (fun () ->
+                   HS.Clock.lock_write clock;
+                   HS.Clock.lock_done clock));
+            Test.make ~name:"refcount clone/release"
+              (Staged.stage (fun () ->
+                   HS.Ref.clone refc;
+                   ignore (HS.Ref.release refc)));
+          ];
+      ]
+    in
+    let results = bechamel_run tests in
+    let rows =
+      List.concat_map
+        (fun (_, elts) ->
+          List.map (fun (name, ns) -> [ name; f1 ns ]) elts)
+        results
+    in
+    table ~header:[ "operation"; "ns/op" ] rows
+end
+
+(* ================================================================== *)
+(* E1: spin protocols under contention (section 2)                     *)
+(* ================================================================== *)
+
+module E1 = struct
+  (* Workers contend for one lock; the critical section updates shared
+     kernel data (so spin bus traffic delays useful work). *)
+  let workload protocol cpus =
+    sim_run ~cpus (fun () ->
+        let lock = K.Slock.make ~name:"l" ~protocol () in
+        let data = Array.init 4 (fun _ -> Engine.Cell.make 0) in
+        let worker () =
+          for _ = 1 to 30 do
+            K.Slock.lock lock;
+            Array.iter (fun d -> ignore (Engine.Cell.fetch_and_add d 1)) data;
+            Engine.cycles 20;
+            K.Slock.unlock lock
+          done
+        in
+        let ts = List.init cpus (fun _ -> Engine.spawn worker) in
+        List.iter Engine.join ts)
+
+  let run () =
+    section ~id:"E1" ~title:"spin protocols under contention (sim cycles)"
+      ~claim:
+        "test-and-test-and-set avoids cache misses while spinning; plain \
+         test-and-set wastes bus bandwidth and slows everyone down (s.2)";
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun p ->
+              let s = workload p cpus in
+              [
+                i cpus;
+                Spin.protocol_name p;
+                i s.Engine.makespan;
+                i s.Engine.bus_transactions;
+                i s.Engine.atomic_ops;
+                i s.Engine.cache_misses;
+              ])
+            Spin.all_protocols)
+        cpu_sweep
+    in
+    table
+      ~header:
+        [ "cpus"; "protocol"; "makespan"; "bus-txns"; "atomics"; "misses" ]
+      rows
+end
+
+(* ================================================================== *)
+(* E2: low contention and the first-attempt observation (section 2)    *)
+(* ================================================================== *)
+
+module E2 = struct
+  let workload protocol cpus =
+    let stats = ref None in
+    let s =
+      sim_run ~cpus (fun () ->
+          let lock = K.Slock.make ~name:"l" ~protocol () in
+          let worker () =
+            for _ = 1 to 30 do
+              K.Slock.lock lock;
+              Engine.cycles 10;
+              K.Slock.unlock lock;
+              (* think time >> hold time: contention is rare *)
+              Engine.cycles 2000;
+              Engine.pause ()
+            done
+          in
+          let ts = List.init cpus (fun _ -> Engine.spawn worker) in
+          List.iter Engine.join ts;
+          stats := Some (K.Slock.stats lock))
+    in
+    (s, Option.get !stats)
+
+  let run () =
+    section ~id:"E2" ~title:"low contention: the first-attempt observation"
+      ~claim:
+        "most locks in a well designed system are acquired on the first \
+         attempt, so try the atomic instruction first (tas+ttas) (s.2)";
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun p ->
+              let s, st = workload p cpus in
+              [
+                i cpus;
+                Spin.protocol_name p;
+                i s.Engine.makespan;
+                f2 (Stats.first_attempt_rate st);
+                i (Stats.total_spins st);
+              ])
+            Spin.all_protocols)
+        [ 2; 8 ]
+    in
+    table
+      ~header:[ "cpus"; "protocol"; "makespan"; "first-attempt"; "spins" ]
+      rows
+end
+
+(* ================================================================== *)
+(* E3: locking granularity (sections 2, 5)                             *)
+(* ================================================================== *)
+
+module E3 = struct
+  let run () =
+    section ~id:"E3" ~title:"coarse vs fine-grained locking"
+      ~claim:
+        "locking data (one lock per object) lets code run in parallel with \
+         itself; locking code (one big lock / master processor) restricts \
+         the kernel to one processor and bottlenecks (s.2, s.5)";
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun g ->
+              let ops = cpus * 30 in
+              let s =
+                sim_run ~cpus (fun () ->
+                    Scenarios.object_ops_workload g ~objects:16 ~workers:cpus
+                      ~ops_per_worker:30)
+              in
+              let throughput =
+                float_of_int ops *. 1000. /. float_of_int s.Engine.makespan
+              in
+              [
+                i cpus;
+                Scenarios.granularity_name g;
+                i ops;
+                i s.Engine.makespan;
+                f2 throughput;
+              ])
+            [ Scenarios.Coarse; Scenarios.Fine; Scenarios.Master_funnel ])
+        cpu_sweep
+    in
+    table
+      ~header:[ "cpus"; "granularity"; "total-ops"; "makespan"; "ops/kcycle" ]
+      rows
+end
+
+(* ================================================================== *)
+(* E4: readers/writer lock and writers' priority (section 4)           *)
+(* ================================================================== *)
+
+module E4 = struct
+  let workload ~priority ~write_pct cpus =
+    let max_writer_wait = ref 0 in
+    let s =
+      sim_run ~cpus (fun () ->
+          let l = K.Clock.make ~name:"rw" ~can_sleep:true () in
+          K.Clock.set_writers_priority l priority;
+          let worker w () =
+            for op = 1 to 30 do
+              if (op + w) mod 100 < write_pct then begin
+                let t0 = Engine.now_cycles () in
+                K.Clock.lock_write l;
+                let waited = Engine.now_cycles () - t0 in
+                if waited > !max_writer_wait then max_writer_wait := waited;
+                Engine.cycles 30;
+                K.Clock.lock_done l
+              end
+              else begin
+                K.Clock.lock_read l;
+                Engine.cycles 30;
+                K.Clock.lock_done l
+              end
+            done
+          in
+          let ts = List.init cpus (fun w -> Engine.spawn (worker w)) in
+          List.iter Engine.join ts)
+    in
+    (s, !max_writer_wait)
+
+  let run () =
+    section ~id:"E4" ~title:"readers/writer lock: writers' priority"
+      ~claim:
+        "readers may not be added past an outstanding write request, \
+         guaranteeing the lock drains to the writer (no starvation) (s.4); \
+         ablation: without priority, writer waits explode under read load";
+    let rows =
+      List.concat_map
+        (fun write_pct ->
+          List.map
+            (fun priority ->
+              let s, wmax = workload ~priority ~write_pct 8 in
+              [
+                i write_pct;
+                (if priority then "yes" else "no (ablation)");
+                i s.Engine.makespan;
+                i wmax;
+              ])
+            [ true; false ])
+        [ 2; 10; 30 ]
+    in
+    table
+      ~header:[ "write%"; "writers-priority"; "makespan"; "max-writer-wait" ]
+      rows
+end
+
+(* ================================================================== *)
+(* E5: upgrade vs write-then-downgrade (section 7.1)                   *)
+(* ================================================================== *)
+
+module E5 = struct
+  (* Each operation reads a shared structure and must then modify it.
+     Variant A: take a read lock, upgrade; a failed upgrade loses the
+     read lock and must restart (the recovery logic section 7.1 complains
+     about).  Variant B: take the write lock up front and downgrade after
+     the modification. *)
+  let workload ~use_upgrade cpus =
+    let failed = ref 0 in
+    let s =
+      sim_run ~cpus (fun () ->
+          let l = K.Clock.make ~name:"m" ~can_sleep:true () in
+          let worker () =
+            for _ = 1 to 20 do
+              if use_upgrade then begin
+                let rec attempt () =
+                  K.Clock.lock_read l;
+                  Engine.cycles 20 (* read/validate *);
+                  if K.Clock.lock_read_to_write l then begin
+                    (* failed: read lock already released; retry *)
+                    incr failed;
+                    Engine.pause ();
+                    attempt ()
+                  end
+                  else begin
+                    Engine.cycles 30 (* modify *);
+                    K.Clock.lock_done l
+                  end
+                in
+                attempt ()
+              end
+              else begin
+                K.Clock.lock_write l;
+                Engine.cycles 30 (* modify *);
+                K.Clock.lock_write_to_read l;
+                Engine.cycles 20 (* read under the downgraded lock *);
+                K.Clock.lock_done l
+              end
+            done
+          in
+          let ts = List.init cpus (fun _ -> Engine.spawn worker) in
+          List.iter Engine.join ts)
+    in
+    (s, !failed)
+
+  let run () =
+    section ~id:"E5" ~title:"read-to-write upgrade vs write-then-downgrade"
+      ~claim:
+        "upgrades fail under contention (releasing the read lock and \
+         forcing recovery); locking for write and downgrading cannot fail \
+         and is the simpler, preferred alternative (s.7.1)";
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun use_upgrade ->
+              let s, failed = workload ~use_upgrade cpus in
+              [
+                i cpus;
+                (if use_upgrade then "upgrade" else "write+downgrade");
+                i s.Engine.makespan;
+                i failed;
+              ])
+            [ true; false ])
+        [ 2; 4; 8 ]
+    in
+    table ~header:[ "cpus"; "strategy"; "makespan"; "failed-upgrades" ] rows
+end
+
+(* ================================================================== *)
+(* E6: recursive locking: overhead and the vm_map_pageable deadlock    *)
+(* ================================================================== *)
+
+module E6 = struct
+  let overhead () =
+    let acquisition ~recursive =
+      let s =
+        sim_run ~cpus:1 (fun () ->
+            let l = K.Clock.make ~can_sleep:true () in
+            if recursive then begin
+              K.Clock.lock_write l;
+              K.Clock.lock_set_recursive l;
+              for _ = 1 to 200 do
+                K.Clock.lock_write l;
+                K.Clock.lock_done l
+              done;
+              K.Clock.lock_clear_recursive l;
+              K.Clock.lock_done l
+            end
+            else
+              for _ = 1 to 200 do
+                K.Clock.lock_write l;
+                K.Clock.lock_done l
+              done)
+      in
+      s.Engine.makespan / 200
+    in
+    [
+      [ "plain write acquire/release"; i (acquisition ~recursive:false) ];
+      [ "recursive re-acquire/release"; i (acquisition ~recursive:true) ];
+    ]
+
+  let pageable_scenario ~use_recursive () =
+    let ctx = Vm.Vm_map.make_context ~pages:4 () in
+    let map = Vm.Vm_map.create ctx in
+    let reclaimable = Vm.Vm_map.vm_allocate map ~size:3 in
+    for idx = 0 to 2 do
+      match Vm.Vm_fault.fault map ~va:(reclaimable + idx) with
+      | Ok _ -> ()
+      | Error _ -> Engine.fatal "populate failed"
+    done;
+    let wired_va = Vm.Vm_map.vm_allocate map ~size:3 in
+    let daemon = Vm.Vm_pageout.start_daemon ~victims:[ map ] in
+    let wire =
+      if use_recursive then Vm.Vm_pageable.wire_recursive
+      else Vm.Vm_pageable.wire_rewritten
+    in
+    (match wire map ~va:wired_va ~pages:3 with
+    | Ok () -> ()
+    | Error _ -> Engine.fatal "wire failed");
+    Vm.Vm_pageout.stop_daemon daemon;
+    Vm.Vm_map.release map
+
+  let run () =
+    section ~id:"E6" ~title:"recursive locking: cost and the 7.1 deadlock"
+      ~claim:
+        "recursive locks are less than fully general and caused the \
+         vm_map_pageable deadlock against pageout; the Mach 3.0 rewrite \
+         removes them (s.4, s.7.1)";
+    table ~header:[ "operation"; "cycles/op" ] (overhead ());
+    printf "\nvm_map_pageable under memory pressure, 30 schedules each:\n";
+    let verdict ~use_recursive =
+      Explore.run ~cpus:3
+        ~seeds:(List.init 30 (fun s -> s + 1))
+        (pageable_scenario ~use_recursive)
+    in
+    let vr = verdict ~use_recursive:true in
+    let vw = verdict ~use_recursive:false in
+    table
+      ~header:[ "implementation"; "schedules"; "completed"; "deadlocked" ]
+      [
+        [
+          "recursive (paper's original)";
+          i vr.Explore.seeds_run;
+          i vr.Explore.completed;
+          i (vr.Explore.sleep_deadlocks + vr.Explore.spin_deadlocks);
+        ];
+        [
+          "rewritten (Mach 3.0, s.7.1)";
+          i vw.Explore.seeds_run;
+          i vw.Explore.completed;
+          i (vw.Explore.sleep_deadlocks + vw.Explore.spin_deadlocks);
+        ];
+      ]
+end
+
+(* ================================================================== *)
+(* E7: event-wait latency and throughput (section 6)                   *)
+(* ================================================================== *)
+
+module E7 = struct
+  let ping_pong () =
+    let rounds = 50 in
+    let s =
+      sim_run ~cpus:2 (fun () ->
+          let ping = K.Ev.fresh_event () and pong = K.Ev.fresh_event () in
+          let guard = K.Slock.make ~name:"pp" () in
+          let turn = ref 0 in
+          let player my_turn my_ev other_ev () =
+            for _ = 1 to rounds do
+              K.Slock.lock guard;
+              if !turn <> my_turn then begin
+                K.Ev.assert_wait my_ev;
+                K.Slock.unlock guard;
+                ignore (K.Ev.thread_block ())
+              end
+              else K.Slock.unlock guard;
+              K.Slock.lock guard;
+              turn := 1 - my_turn;
+              ignore (K.Ev.thread_wakeup other_ev);
+              K.Slock.unlock guard
+            done
+          in
+          let a = Engine.spawn ~name:"ping" (player 0 ping pong) in
+          let b = Engine.spawn ~name:"pong" (player 1 pong ping) in
+          Engine.join a;
+          Engine.join b)
+    in
+    s.Engine.makespan / rounds
+
+  let herd n =
+    let s =
+      sim_run ~cpus:8 (fun () ->
+          let ev = K.Ev.fresh_event () in
+          let served = Engine.Cell.make 0 in
+          let sleepers =
+            List.init n (fun _ ->
+                Engine.spawn (fun () ->
+                    K.Ev.assert_wait ev;
+                    ignore (K.Ev.thread_block ());
+                    ignore (Engine.Cell.fetch_and_add served 1)))
+          in
+          let rec drive () =
+            if Engine.Cell.get served < n then begin
+              ignore (K.Ev.thread_wakeup ev);
+              Engine.pause ();
+              drive ()
+            end
+          in
+          drive ();
+          List.iter Engine.join sleepers)
+    in
+    s.Engine.makespan
+
+  let run () =
+    section ~id:"E7" ~title:"event-wait mechanism costs"
+      ~claim:
+        "the split assert_wait/thread_block design makes release-locks-and-\
+         wait atomic w.r.t. wakeup at the cost of one extra declaration \
+         step; wakeup is broadcast (s.6)";
+    table
+      ~header:[ "benchmark"; "cycles" ]
+      ([ [ "sleep/wakeup round trip (per round)"; i (ping_pong ()) ] ]
+      @ List.map
+          (fun n ->
+            [ Printf.sprintf "broadcast wakeup herd of %d" n; i (herd n) ])
+          [ 2; 8; 32 ])
+end
+
+(* ================================================================== *)
+(* E8: reference counting costs (section 8)                            *)
+(* ================================================================== *)
+
+module E8 = struct
+  let contended cpus =
+    let ops = 100 in
+    let s =
+      sim_run ~cpus (fun () ->
+          let r = K.Ref.make () in
+          let ts =
+            List.init cpus (fun _ ->
+                Engine.spawn (fun () ->
+                    for _ = 1 to ops do
+                      K.Ref.clone r;
+                      ignore (K.Ref.release r)
+                    done))
+          in
+          List.iter Engine.join ts)
+    in
+    s.Engine.makespan / ops
+
+  let run () =
+    section ~id:"E8" ~title:"reference counting costs"
+      ~claim:
+        "acquiring a reference never blocks (legal under locks); the count \
+         cell is a shared hot spot that scales with contention, which is \
+         why counts live with per-object locks rather than globally (s.8)";
+    let rows = List.map (fun cpus -> [ i cpus; i (contended cpus) ]) cpu_sweep in
+    table
+      ~header:[ "cpus"; "cycles per clone+release (one shared object)" ]
+      rows
+end
+
+(* ================================================================== *)
+(* E9: the kernel operation path (section 10)                          *)
+(* ================================================================== *)
+
+module E9 = struct
+  let rpc_sweep clients =
+    let calls = 20 in
+    let s =
+      sim_run ~cpus:8 (fun () ->
+          let kernel = Kernel.start ~pages:32 () in
+          Scenarios.null_rpc_workload kernel ~clients ~calls_each:calls;
+          Kernel.shutdown kernel)
+    in
+    (s.Engine.makespan, s.Engine.makespan / (clients * calls))
+
+  let run () =
+    section ~id:"E9" ~title:"kernel operation path: null RPC round trip"
+      ~claim:
+        "every kernel operation pays the section 10 sequence: message, \
+         port translation + object reference, operation, reference \
+         release, reply (s.10)";
+    let rows =
+      List.map
+        (fun clients ->
+          let makespan, per = rpc_sweep clients in
+          [ i clients; i makespan; i per ])
+        [ 1; 2; 4; 8 ]
+    in
+    table ~header:[ "clients"; "makespan"; "cycles/rpc" ] rows
+end
+
+(* ================================================================== *)
+(* E10: TLB shootdown cost (section 7)                                 *)
+(* ================================================================== *)
+
+module E10 = struct
+  let shootdown_cost participants =
+    let removals = 10 in
+    let s =
+      sim_run ~cpus:(participants + 1) (fun () ->
+          let pm = Vm.Pmap.create () in
+          (* victims: threads on other cpus spinning at spl0, pmap active *)
+          let stop = Engine.Cell.make 0 in
+          let victims =
+            List.init participants (fun k ->
+                let cpu = k + 1 in
+                Engine.spawn ~name:(Printf.sprintf "victim%d" cpu) ~bound:cpu
+                  (fun () ->
+                    Vm.Pmap.activate pm ~cpu;
+                    Engine.spin_hint "stop";
+                    while Engine.Cell.get stop = 0 do
+                      Engine.pause ()
+                    done))
+          in
+          (* the initiator is pinned to cpu0 so it cannot occupy (and
+             starve) a victim's cpu while busy-waiting *)
+          let initiator =
+            Engine.spawn ~name:"initiator" ~bound:0 (fun () ->
+                for j = 0 to removals - 1 do
+                  Vm.Pmap.enter pm ~va:(0x1000 + j) ~ppn:j
+                    ~prot:Vm.Tlb.Read_write
+                done;
+                Engine.spin_hint "activation";
+                while List.length (Vm.Pmap.active_cpus pm) < participants do
+                  Engine.pause ()
+                done;
+                for j = 0 to removals - 1 do
+                  ignore (Vm.Pmap.remove pm ~va:(0x1000 + j))
+                done;
+                Engine.Cell.set stop 1)
+          in
+          Engine.join initiator;
+          List.iter Engine.join victims)
+    in
+    (s.Engine.makespan / removals, s.Engine.interrupts_delivered)
+
+  let run () =
+    section ~id:"E10" ~title:"TLB shootdown: barrier sync at interrupt level"
+      ~claim:
+        "barrier synchronization at interrupt level is a costly operation \
+         and is actively discouraged; cost grows with the number of \
+         processors that must rendezvous (s.7)";
+    let rows =
+      List.map
+        (fun p ->
+          let per, intrs = shootdown_cost p in
+          [ i p; i per; i intrs ])
+        [ 0; 1; 2; 4; 8; 15 ]
+    in
+    table
+      ~header:[ "remote participants"; "cycles/shootdown"; "interrupts" ]
+      rows
+end
+
+(* ================================================================== *)
+(* E11: the interrupt-deadlock scenario (section 7)                    *)
+(* ================================================================== *)
+
+module E11 = struct
+  let run () =
+    section ~id:"E11" ~title:"inconsistent spl vs the same-spl rule"
+      ~claim:
+        "if a lock is held with interrupts enabled on one cpu and awaited \
+         with interrupts disabled on another while a third starts barrier \
+         synchronization, the system deadlocks; acquiring every lock at \
+         the same interrupt priority prevents it (s.7)";
+    let verdict disciplined =
+      Explore.run ~cpus:3
+        ~seeds:(List.init 50 (fun s -> s + 1))
+        (Scenarios.interrupt_barrier_scenario ~disciplined)
+    in
+    let vb = verdict false and vd = verdict true in
+    table
+      ~header:[ "variant"; "schedules"; "completed"; "deadlocked" ]
+      [
+        [
+          "inconsistent spl (buggy)";
+          i vb.Explore.seeds_run;
+          i vb.Explore.completed;
+          i (vb.Explore.sleep_deadlocks + vb.Explore.spin_deadlocks);
+        ];
+        [
+          "same-spl rule (disciplined)";
+          i vd.Explore.seeds_run;
+          i vd.Explore.completed;
+          i (vd.Explore.sleep_deadlocks + vd.Explore.spin_deadlocks);
+        ];
+      ]
+end
+
+(* ================================================================== *)
+(* E12: pmap/pv lock orders: arbiter lock vs backout (section 5)       *)
+(* ================================================================== *)
+
+module E12 = struct
+  (* The reduced form of the section 5 conflict: forward workers need
+     pmap-then-pv; reverse workers need pv-then-pmap.  The arbiter
+     strategy runs forward under a read lock and reverse under a write
+     lock on a third lock; the backout strategy has reverse workers lock
+     pv, then make a single attempt on pmap, releasing and retrying on
+     failure. *)
+  let workload strategy cpus =
+    let retries = ref 0 in
+    let s =
+      sim_run ~cpus (fun () ->
+          let pmap_lock = K.Slock.make ~name:"pmap" () in
+          let pv_lock = K.Slock.make ~name:"pv" () in
+          let psys = K.Clock.make ~name:"psys" ~can_sleep:false () in
+          let ops = 30 in
+          let forward () =
+            for _ = 1 to ops do
+              (match strategy with
+              | `Arbiter ->
+                  K.Clock.lock_read psys;
+                  K.Slock.lock pmap_lock;
+                  K.Slock.lock pv_lock;
+                  Engine.cycles 30;
+                  K.Slock.unlock pv_lock;
+                  K.Slock.unlock pmap_lock;
+                  K.Clock.lock_done psys
+              | `Backout ->
+                  (* forward is the canonical order: no arbiter needed *)
+                  K.Slock.lock pmap_lock;
+                  K.Slock.lock pv_lock;
+                  Engine.cycles 30;
+                  K.Slock.unlock pv_lock;
+                  K.Slock.unlock pmap_lock);
+              Engine.cycles 100
+            done
+          in
+          let reverse () =
+            for _ = 1 to ops do
+              (match strategy with
+              | `Arbiter ->
+                  K.Clock.lock_write psys;
+                  K.Slock.lock pv_lock;
+                  K.Slock.lock pmap_lock;
+                  Engine.cycles 30;
+                  K.Slock.unlock pmap_lock;
+                  K.Slock.unlock pv_lock;
+                  K.Clock.lock_done psys
+              | `Backout ->
+                  let rec attempt () =
+                    K.Slock.lock pv_lock;
+                    if K.Slock.try_lock pmap_lock then begin
+                      Engine.cycles 30;
+                      K.Slock.unlock pmap_lock;
+                      K.Slock.unlock pv_lock
+                    end
+                    else begin
+                      incr retries;
+                      K.Slock.unlock pv_lock;
+                      Engine.pause ();
+                      attempt ()
+                    end
+                  in
+                  attempt ());
+              Engine.cycles 100
+            done
+          in
+          let ts =
+            List.init cpus (fun k ->
+                Engine.spawn (if k mod 4 = 0 then reverse else forward))
+          in
+          List.iter Engine.join ts)
+    in
+    (s, !retries)
+
+  let run () =
+    section ~id:"E12" ~title:"two lock orders: arbiter lock vs backout"
+      ~claim:
+        "a third (pmap system) lock arbitrates between the pmap-then-pv \
+         and pv-then-pmap orders; the backout protocol is the lighter \
+         alternative that pays retries instead of a global read lock (s.5)";
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun (name, strategy) ->
+              let s, retries = workload strategy cpus in
+              [ i cpus; name; i s.Engine.makespan; i retries ])
+            [ ("arbiter (pmap system lock)", `Arbiter); ("backout", `Backout) ])
+        [ 4; 8; 16 ]
+    in
+    table ~header:[ "cpus"; "strategy"; "makespan"; "backout-retries" ] rows
+end
+
+(* ================================================================== *)
+(* X1: the lock-free timing facility (section 2's exception)           *)
+(* ================================================================== *)
+
+module X1 = struct
+  module Timer = Mach_kern.Timer
+
+  (* Ticks happen on every context switch and interrupt: compare the
+     lock-free single-writer timer against a lock-protected one. *)
+  let tick_cost ~locked =
+    let ticks = 200 in
+    let s =
+      sim_run ~cpus:2 (fun () ->
+          if locked then begin
+            let l = K.Slock.make ~name:"timer-lock" () in
+            let total = ref 0 in
+            let owner =
+              Engine.spawn ~bound:0 (fun () ->
+                  for _ = 1 to ticks do
+                    K.Slock.lock l;
+                    total := !total + 700;
+                    K.Slock.unlock l
+                  done)
+            in
+            Engine.join owner
+          end
+          else begin
+            let t = Timer.create ~owner_cpu:0 () in
+            let owner =
+              Engine.spawn ~bound:0 (fun () ->
+                  for _ = 1 to ticks do
+                    Timer.tick t ~cycles:700
+                  done)
+            in
+            Engine.join owner
+          end)
+    in
+    s.Engine.makespan / ticks
+
+  let read_contention readers =
+    let s =
+      sim_run ~cpus:(readers + 1) (fun () ->
+          let t = Timer.create ~owner_cpu:0 () in
+          let stop = Engine.Cell.make 0 in
+          let rs =
+            List.init readers (fun k ->
+                Engine.spawn ~bound:(k + 1) (fun () ->
+                    while Engine.Cell.get stop = 0 do
+                      ignore (Timer.read t);
+                      Engine.pause ()
+                    done))
+          in
+          let owner =
+            Engine.spawn ~bound:0 (fun () ->
+                for _ = 1 to 100 do
+                  Timer.tick t ~cycles:700;
+                  Engine.pause ()
+                done;
+                Engine.Cell.set stop 1)
+          in
+          Engine.join owner;
+          List.iter Engine.join rs)
+    in
+    (s.Engine.makespan / 100, s.Engine.bus_transactions)
+
+  let run () =
+    section ~id:"X1" ~title:"lock-free usage timers (extension experiment)"
+      ~claim:
+        "Mach's one exception to multiprocessor locking: timer data \
+         structures use single-writer discipline + checked reads instead \
+         of a lock, because ticks happen on every context switch (s.2)";
+    table
+      ~header:[ "variant"; "cycles/tick" ]
+      [
+        [ "lock-free (checked read protocol)"; i (tick_cost ~locked:false) ];
+        [ "simple-lock protected"; i (tick_cost ~locked:true) ];
+      ];
+    printf "\nwriter ticking under concurrent checked readers:\n";
+    let rows =
+      List.map
+        (fun readers ->
+          let per, bus = read_contention readers in
+          [ i readers; i per; i bus ])
+        [ 0; 1; 3; 7 ]
+    in
+    table ~header:[ "readers"; "cycles/tick (writer)"; "bus-txns" ] rows
+end
+
+(* ================================================================== *)
+
+let experiments =
+  [
+    ("N0", N0.run);
+    ("E1", E1.run);
+    ("E2", E2.run);
+    ("E3", E3.run);
+    ("E4", E4.run);
+    ("E5", E5.run);
+    ("E6", E6.run);
+    ("E7", E7.run);
+    ("E8", E8.run);
+    ("E9", E9.run);
+    ("E10", E10.run);
+    ("E11", E11.run);
+    ("E12", E12.run);
+    ("X1", X1.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun id ->
+      match List.assoc_opt id experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" id
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    requested;
+  Printf.printf "\nAll requested experiments completed.\n"

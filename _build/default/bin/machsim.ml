@@ -1,0 +1,242 @@
+(* machsim: command-line driver for the simulated Mach multiprocessor.
+
+   Subcommands:
+     run       -- run a named scenario once and print the run statistics
+     explore   -- run a scenario across many schedule seeds, tally outcomes
+     trace     -- run a scenario with event tracing and dump the trace *)
+
+module Engine = Mach_sim.Sim_engine
+module Config = Mach_sim.Sim_config
+module Explore = Mach_sim.Sim_explore
+module Trace = Mach_sim.Sim_trace
+module Scenarios = Mach_kernel.Scenarios
+module Kernel = Mach_kernel.Kernel
+module Vm = Mach_vm
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Scenario registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pageable_scenario ~use_recursive () =
+  let ctx = Vm.Vm_map.make_context ~pages:4 () in
+  let map = Vm.Vm_map.create ctx in
+  let reclaimable = Vm.Vm_map.vm_allocate map ~size:3 in
+  for i = 0 to 2 do
+    match Vm.Vm_fault.fault map ~va:(reclaimable + i) with
+    | Ok _ -> ()
+    | Error _ -> Engine.fatal "populate failed"
+  done;
+  let wired_va = Vm.Vm_map.vm_allocate map ~size:3 in
+  let daemon = Vm.Vm_pageout.start_daemon ~victims:[ map ] in
+  let wire =
+    if use_recursive then Vm.Vm_pageable.wire_recursive
+    else Vm.Vm_pageable.wire_rewritten
+  in
+  (match wire map ~va:wired_va ~pages:3 with
+  | Ok () -> ()
+  | Error _ -> Engine.fatal "wire failed");
+  Vm.Vm_pageout.stop_daemon daemon;
+  Vm.Vm_map.release map
+
+let scenarios : (string * (string * (unit -> unit))) list =
+  [
+    ( "rpc",
+      ( "boot the kernel; 4 clients make null RPCs to the host port",
+        fun () ->
+          let kernel = Kernel.start ~pages:64 () in
+          Scenarios.null_rpc_workload kernel ~clients:4 ~calls_each:25;
+          Kernel.shutdown kernel ) );
+    ( "task-lifecycle",
+      ( "create tasks over RPC, allocate+wire memory, terminate them",
+        fun () ->
+          let kernel = Kernel.start ~pages:128 () in
+          let ports =
+            List.init 4 (fun _ ->
+                match Kernel.rpc_task_create kernel with
+                | Ok p -> p
+                | Error e -> Engine.fatal e)
+          in
+          List.iter
+            (fun p ->
+              (match Kernel.rpc_vm_allocate p ~size:8 with
+              | Ok va -> (
+                  match Kernel.rpc_vm_wire p ~va ~pages:4 with
+                  | Ok () -> ()
+                  | Error e -> Engine.fatal e)
+              | Error e -> Engine.fatal e);
+              (match Kernel.rpc_task_terminate p with
+              | Ok () -> ()
+              | Error e -> Engine.fatal e);
+              Mach_ipc.Port.release p)
+            ports;
+          Kernel.shutdown kernel ) );
+    ( "coarse",
+      ( "object operations under one global kernel lock",
+        fun () ->
+          Scenarios.object_ops_workload Scenarios.Coarse ~objects:16
+            ~workers:(Engine.cpu_count ()) ~ops_per_worker:30 ) );
+    ( "fine",
+      ( "object operations under per-object locks (the Mach way)",
+        fun () ->
+          Scenarios.object_ops_workload Scenarios.Fine ~objects:16
+            ~workers:(Engine.cpu_count ()) ~ops_per_worker:30 ) );
+    ( "funnel",
+      ( "object operations funnelled through a master processor",
+        fun () ->
+          Scenarios.object_ops_workload Scenarios.Master_funnel ~objects:16
+            ~workers:(Engine.cpu_count ()) ~ops_per_worker:30 ) );
+    ( "interrupt-deadlock",
+      ( "the section 7 three-processor barrier deadlock (buggy variant)",
+        Scenarios.interrupt_barrier_scenario ~disciplined:false ) );
+    ( "interrupt-disciplined",
+      ( "the same scenario under the same-spl rule (never deadlocks)",
+        Scenarios.interrupt_barrier_scenario ~disciplined:true ) );
+    ( "wire-recursive",
+      ( "vm_map_pageable with recursive locks vs pageout (section 7.1 bug)",
+        pageable_scenario ~use_recursive:true ) );
+    ( "wire-rewritten",
+      ( "the Mach 3.0 vm_map_pageable rewrite vs pageout (deadlock-free)",
+        pageable_scenario ~use_recursive:false ) );
+  ]
+
+let scenario_names = List.map fst scenarios
+
+let lookup_scenario name =
+  match List.assoc_opt name scenarios with
+  | Some (_, f) -> f
+  | None ->
+      Printf.eprintf "unknown scenario %S; known scenarios:\n" name;
+      List.iter
+        (fun (n, (d, _)) -> Printf.eprintf "  %-22s %s\n" n d)
+        scenarios;
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scenario_arg =
+  let doc =
+    "Scenario to run. One of: " ^ String.concat ", " scenario_names ^ "."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+
+let cpus_arg =
+  Arg.(value & opt int 4 & info [ "cpus"; "c" ] ~docv:"N" ~doc:"Virtual cpus.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Schedule seed.")
+
+let policy_arg =
+  let parse = function
+    | "random" -> Ok Config.Random_policy
+    | "round-robin" -> Ok Config.Round_robin
+    | "timed" -> Ok Config.Timed
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Config.policy_name p) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Config.Timed
+    & info [ "policy"; "p" ] ~docv:"POLICY"
+        ~doc:"Scheduling policy: random, round-robin or timed.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run scenario cpus seed policy =
+    let cfg = { Config.default with Config.cpus; seed; policy } in
+    match Engine.run_outcome ~cfg (lookup_scenario scenario) with
+    | Engine.Completed stats ->
+        Format.printf "completed: %a@." Engine.pp_stats stats;
+        0
+    | Engine.Deadlocked (kind, report) ->
+        Format.printf "DEADLOCK (%s):@.%s@."
+          (match kind with
+          | Engine.Sleep_deadlock -> "sleep"
+          | Engine.Spin_deadlock -> "spin/livelock")
+          report;
+        1
+    | Engine.Panicked msg ->
+        Format.printf "KERNEL PANIC: %s@." msg;
+        1
+    | Engine.Hit_step_limit ->
+        Format.printf "step limit reached@.";
+        1
+  in
+  let term = Term.(const run $ scenario_arg $ cpus_arg $ seed_arg $ policy_arg) in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a scenario once and print the run statistics.")
+    term
+
+let explore_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of schedule seeds.")
+  in
+  let run scenario cpus seeds =
+    let v =
+      Explore.run ~cpus
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        (lookup_scenario scenario)
+    in
+    Format.printf "%a@." Explore.pp_verdict v;
+    (match v.Explore.failures with
+    | (seed, report) :: _ ->
+        Format.printf "@.first failure (seed %d):@.%s@." seed report
+    | [] -> ());
+    if Explore.all_completed v then 0 else 1
+  in
+  let term = Term.(const run $ scenario_arg $ cpus_arg $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Run a scenario across many schedule seeds and tally completions, \
+          deadlocks and panics.")
+    term
+
+let trace_cmd =
+  let limit_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "limit"; "l" ] ~docv:"N" ~doc:"Trace lines to print (tail).")
+  in
+  let run scenario cpus seed limit =
+    let cfg = { Config.default with Config.cpus; seed; trace = true } in
+    let outcome = Engine.run_outcome ~cfg (lookup_scenario scenario) in
+    let events = Engine.trace_events () in
+    let total = List.length events in
+    let tail =
+      if total <= limit then events
+      else
+        List.filteri (fun idx _ -> idx >= total - limit) events
+    in
+    List.iter (fun e -> Format.printf "%a@." Trace.pp_event e) tail;
+    Format.printf "(%d of %d events shown)@." (List.length tail) total;
+    (match outcome with
+    | Engine.Completed stats -> Format.printf "completed: %a@." Engine.pp_stats stats
+    | Engine.Deadlocked (_, r) -> Format.printf "deadlocked:@.%s@." r
+    | Engine.Panicked m -> Format.printf "panicked: %s@." m
+    | Engine.Hit_step_limit -> Format.printf "step limit@.");
+    0
+  in
+  let term = Term.(const run $ scenario_arg $ cpus_arg $ seed_arg $ limit_arg) in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a scenario with event tracing and dump the tail.")
+    term
+
+let list_cmd =
+  let run () =
+    List.iter (fun (n, (d, _)) -> Printf.printf "%-22s %s\n" n d) scenarios;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available scenarios.") Term.(const run $ const ())
+
+let () =
+  let doc = "Drive the simulated Mach multiprocessor (locking/refcount repro)." in
+  let info = Cmd.info "machsim" ~version:"1.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; explore_cmd; trace_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/deadlock_detective.ml: Format List Mach_kernel Mach_sim Mach_vm Printf

@@ -1,0 +1,1 @@
+examples/locking_tour.ml: Format List Mach_core Mach_ksync Mach_sim Printf

@@ -1,0 +1,1 @@
+examples/locking_tour.mli:

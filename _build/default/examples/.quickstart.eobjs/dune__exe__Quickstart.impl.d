@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Mach_ipc Mach_kernel Mach_sim Printf

@@ -1,0 +1,1 @@
+examples/shootdown_demo.ml: List Mach_sim Mach_vm Printf

@@ -1,0 +1,1 @@
+examples/shootdown_demo.mli:

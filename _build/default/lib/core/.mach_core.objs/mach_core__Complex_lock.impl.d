@@ -1,0 +1,1 @@
+lib/core/complex_lock.ml: Atomic Event Lock_stats Machine_intf Printf Simple_lock

@@ -1,0 +1,1 @@
+lib/core/complex_lock.mli: Event Lock_stats Machine_intf Simple_lock

@@ -1,0 +1,1 @@
+lib/core/event.ml: Array Atomic Format Hashtbl List Machine_intf Printf Simple_lock

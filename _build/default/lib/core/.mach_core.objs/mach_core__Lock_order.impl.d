@@ -1,0 +1,1 @@
+lib/core/lock_order.ml: Atomic Hashtbl Machine_intf Printf Simple_lock

@@ -1,0 +1,1 @@
+lib/core/lock_order.mli: Machine_intf Simple_lock

@@ -1,0 +1,1 @@
+lib/core/machine_intf.ml: Spl

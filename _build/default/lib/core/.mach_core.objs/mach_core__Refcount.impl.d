@@ -1,0 +1,1 @@
+lib/core/refcount.ml: Atomic Event Machine_intf Printf Simple_lock

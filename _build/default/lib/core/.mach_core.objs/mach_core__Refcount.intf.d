@@ -1,0 +1,1 @@
+lib/core/refcount.mli: Event Machine_intf Simple_lock

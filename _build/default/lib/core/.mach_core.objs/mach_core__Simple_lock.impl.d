@@ -1,0 +1,1 @@
+lib/core/simple_lock.ml: Atomic Lock_stats Machine_intf Printf Spin Spl

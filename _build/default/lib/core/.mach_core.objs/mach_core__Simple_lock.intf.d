@@ -1,0 +1,1 @@
+lib/core/simple_lock.mli: Lock_stats Machine_intf Spin Spl

@@ -1,0 +1,1 @@
+lib/core/spin.ml: Machine_intf Stdlib

@@ -1,0 +1,1 @@
+lib/core/spin.mli: Machine_intf

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Complex_lock Event Lock_order Machine_intf Refcount Simple_lock Spin

@@ -1,0 +1,16 @@
+type t = { mutable active : bool }
+
+let make () = { active = true }
+let is_active t = t.active
+
+let deactivate t =
+  if t.active then begin
+    t.active <- false;
+    true
+  end
+  else false
+
+type 'a checked = ('a, [ `Deactivated ]) result
+
+let check t = if t.active then Ok () else Error `Deactivated
+let guard t f = if t.active then Ok (f ()) else Error `Deactivated

@@ -1,0 +1,35 @@
+(** Deactivated objects (paper, section 9).
+
+    An object that consists only of a data structure — on which essentially
+    no operation can be performed — is {e deactivated}.  The data structure
+    survives as long as references to it exist, but operations fail because
+    the structure records that the object has been deactivated.  Used for
+    objects that are actively terminated (tasks, threads, ports) rather
+    than passively vanishing with their last reference (memory maps).
+
+    The flag must only be inspected and changed while holding the object's
+    lock; because the object can be deactivated at any moment it is
+    unlocked, the check must be repeated every time the object is relocked
+    during an operation. *)
+
+type t
+
+val make : unit -> t
+(** A new, active flag. *)
+
+val is_active : t -> bool
+
+val deactivate : t -> bool
+(** Set the flag; returns [true] if this call performed the transition
+    (false when already deactivated — termination races are resolved by
+    whoever gets the object lock first). *)
+
+type 'a checked = ('a, [ `Deactivated ]) result
+
+val check : t -> unit checked
+(** [Ok ()] when active; [Error `Deactivated] otherwise.  An operation that
+    fails because the object is deactivated performs whatever recovery is
+    required and returns a failure code (section 9). *)
+
+val guard : t -> (unit -> 'a) -> 'a checked
+(** Run the function only when active. *)

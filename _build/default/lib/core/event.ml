@@ -1,0 +1,248 @@
+module Tls_key = Machine_intf.Tls_key
+
+type wait_result = Awakened | Cleared | Interrupted | Restart
+
+let wait_result_to_string = function
+  | Awakened -> "awakened"
+  | Cleared -> "cleared"
+  | Interrupted -> "interrupted"
+  | Restart -> "restart"
+
+let pp_wait_result ppf r = Format.pp_print_string ppf (wait_result_to_string r)
+
+module Make
+    (M : Machine_intf.MACHINE)
+    (Slock : module type of Simple_lock.Make (M)) =
+struct
+  type event = int
+
+  let null_event = 0
+  let event_counter = Atomic.make 1
+  let fresh_event () = Atomic.fetch_and_add event_counter 1
+
+  (* Per-thread wait state.  All transitions of [state] and [event] happen
+     under the bucket lock of the event involved, except the owner-only
+     Woken -> Running reset in [thread_block] (at which point the waiter is
+     no longer enqueued, so no other thread touches it). *)
+  type waiter = {
+    thread : M.thread;
+    mutable event : event option;
+    mutable state : wstate;
+    mutable interruptible : bool;
+  }
+
+  and wstate = Running | Waiting | Woken of wait_result
+
+  let n_buckets = 64
+
+  type bucket = { block : Slock.t; mutable waiters : waiter list }
+
+  let buckets =
+    Array.init n_buckets (fun i ->
+        {
+          block = Slock.make ~name:(Printf.sprintf "evt-bucket%d" i) ();
+          waiters = [];
+        })
+
+  (* splitmix-style mix so that consecutive event ids spread over buckets *)
+  let bucket_of ev =
+    let h = ev * 0x9E3779B1 in
+    let h = h lxor (h lsr 16) in
+    buckets.(h land (n_buckets - 1))
+
+  (* Registry of waiter records, keyed by thread id. *)
+  let registry : (int, waiter) Hashtbl.t = Hashtbl.create 256
+  let registry_lock = Slock.make ~name:"evt-registry" ()
+
+  let waiter_of thread =
+    let tid = M.thread_id thread in
+    Slock.with_lock registry_lock (fun () ->
+        match Hashtbl.find_opt registry tid with
+        | Some w -> w
+        | None ->
+            let w =
+              { thread; event = None; state = Running; interruptible = false }
+            in
+            Hashtbl.add registry tid w;
+            w)
+
+  let my_waiter () = waiter_of (M.self ())
+
+  let set_in_assert_wait v =
+    M.tls_set (M.self ()) ~key:Tls_key.in_assert_wait (if v then 1 else 0)
+
+  let assert_wait ?(interruptible = false) ev =
+    let w = my_waiter () in
+    (match w.event with
+    | Some e ->
+        M.fatal
+          (Printf.sprintf
+             "assert_wait: thread %s already waiting on event %d (second \
+              assert_wait before thread_block is fatal)"
+             (M.thread_name (M.self ()))
+             e)
+    | None -> ());
+    let b = bucket_of ev in
+    Slock.lock b.block;
+    w.event <- Some ev;
+    w.state <- Waiting;
+    w.interruptible <- interruptible;
+    b.waiters <- b.waiters @ [ w ];
+    Slock.unlock b.block;
+    set_in_assert_wait true
+
+  let check_no_simple_locks what =
+    if Slock.checking () then begin
+      let self = M.self () in
+      let held = M.tls_get self ~key:Tls_key.simple_locks_held in
+      if held > 0 then
+        M.fatal
+          (Printf.sprintf
+             "%s while holding %d simple lock(s): simple locks may not be \
+              held during blocking operations (paper, Appendix A)"
+             what held);
+      let spin_held =
+        M.tls_get self ~key:Tls_key.complex_spin_locks_held
+      in
+      if spin_held > 0 then
+        M.fatal
+          (Printf.sprintf
+             "%s while holding %d non-sleep complex lock(s): locks without \
+              the Sleep option cannot be held during blocking operations \
+              (paper, Appendix B)"
+             what spin_held)
+    end
+
+  let thread_block () =
+    let w = my_waiter () in
+    check_no_simple_locks "thread_block";
+    if M.in_interrupt () then
+      M.fatal "thread_block from interrupt context (interrupts cannot sleep)";
+    let rec wait () =
+      match w.state with
+      | Woken r ->
+          w.state <- Running;
+          set_in_assert_wait false;
+          r
+      | Waiting ->
+          M.park ();
+          wait ()
+      | Running -> M.fatal "thread_block without a prior assert_wait"
+    in
+    wait ()
+
+  (* Dequeue [w] from bucket [b] and mark it woken; caller holds b.block. *)
+  let wake_locked b w result =
+    b.waiters <- List.filter (fun w' -> w' != w) b.waiters;
+    w.event <- None;
+    w.state <- Woken result;
+    M.unpark w.thread
+
+  let cancel_assert () =
+    let w = my_waiter () in
+    let rec loop () =
+      match w.event with
+      | None ->
+          (* Already woken concurrently: consume the wakeup. *)
+          (match w.state with
+          | Woken _ -> w.state <- Running
+          | Running | Waiting -> ());
+          set_in_assert_wait false
+      | Some ev ->
+          let b = bucket_of ev in
+          Slock.lock b.block;
+          if w.event = Some ev && w.state = Waiting then begin
+            b.waiters <- List.filter (fun w' -> w' != w) b.waiters;
+            w.event <- None;
+            w.state <- Running;
+            Slock.unlock b.block;
+            set_in_assert_wait false
+          end
+          else begin
+            Slock.unlock b.block;
+            loop ()
+          end
+    in
+    loop ()
+
+  let thread_wakeup ?(result = Awakened) ev =
+    let b = bucket_of ev in
+    Slock.lock b.block;
+    let matching, rest =
+      List.partition (fun w -> w.event = Some ev) b.waiters
+    in
+    b.waiters <- rest;
+    List.iter
+      (fun w ->
+        w.event <- None;
+        w.state <- Woken result;
+        M.unpark w.thread)
+      matching;
+    Slock.unlock b.block;
+    List.length matching
+
+  let thread_wakeup_one ?(result = Awakened) ev =
+    let b = bucket_of ev in
+    Slock.lock b.block;
+    let rec first = function
+      | [] -> None
+      | w :: _ when w.event = Some ev -> Some w
+      | _ :: tl -> first tl
+    in
+    let woke =
+      match first b.waiters with
+      | Some w ->
+          wake_locked b w result;
+          true
+      | None -> false
+    in
+    Slock.unlock b.block;
+    woke
+
+  let clear_wait_gen thread result ~only_interruptible =
+    let w = waiter_of thread in
+    let rec loop () =
+      match w.event with
+      | None -> false
+      | Some ev ->
+          let b = bucket_of ev in
+          Slock.lock b.block;
+          if w.event = Some ev && w.state = Waiting then
+            if only_interruptible && not w.interruptible then begin
+              Slock.unlock b.block;
+              false
+            end
+            else begin
+              wake_locked b w result;
+              Slock.unlock b.block;
+              true
+            end
+          else begin
+            Slock.unlock b.block;
+            loop ()
+          end
+    in
+    loop ()
+
+  let clear_wait thread result =
+    clear_wait_gen thread result ~only_interruptible:false
+
+  let thread_interrupt thread =
+    clear_wait_gen thread Interrupted ~only_interruptible:true
+
+  let thread_sleep ev lock =
+    assert_wait ev;
+    Slock.unlock lock;
+    thread_block ()
+
+  let waiting_on thread =
+    let w = waiter_of thread in
+    w.event
+
+  (* Diagnostic: a racy momentary observation, deliberately taken without
+     the bucket lock so that a polling observer cannot starve waiters
+     contending for the bucket. *)
+  let waiters_count ev =
+    let b = bucket_of ev in
+    List.length (List.filter (fun w -> w.event = Some ev) b.waiters)
+end

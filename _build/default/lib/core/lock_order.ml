@@ -1,0 +1,101 @@
+module Make
+    (M : Machine_intf.MACHINE)
+    (Slock : module type of Simple_lock.Make (M)) =
+struct
+  type cls = { cname : string; rank : int }
+
+  let define_class ~name ~rank = { cname = name; rank }
+  let class_name c = c.cname
+  let class_rank c = c.rank
+
+  (* Per-thread stack of held classes; consulted only from the owning
+     thread, but the table itself is shared. *)
+  let held : (int, cls list ref) Hashtbl.t = Hashtbl.create 64
+  let held_lock = Slock.make ~name:"lock-order-held" ()
+
+  let my_stack () =
+    let tid = M.thread_id (M.self ()) in
+    Slock.with_lock held_lock (fun () ->
+        match Hashtbl.find_opt held tid with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add held tid r;
+            r)
+
+  let violation_log : string list Atomic.t = Atomic.make []
+  let fatal_violations = Atomic.make false
+  let set_fatal_violations b = Atomic.set fatal_violations b
+
+  let record_violation msg =
+    if Atomic.get fatal_violations then M.fatal msg
+    else begin
+      let rec push () =
+        let old = Atomic.get violation_log in
+        if not (Atomic.compare_and_set violation_log old (msg :: old)) then
+          push ()
+      in
+      push ()
+    end
+
+  let violations () = Atomic.get violation_log
+  let clear_violations () = Atomic.set violation_log []
+
+  let note_acquire c =
+    let stack = my_stack () in
+    (match !stack with
+    | top :: _ when top.rank > c.rank ->
+        record_violation
+          (Printf.sprintf
+             "lock order violation: thread %s acquired class %s (rank %d) \
+              while holding class %s (rank %d)"
+             (M.thread_name (M.self ()))
+             c.cname c.rank top.cname top.rank)
+    | _ -> ());
+    stack := c :: !stack
+
+  let note_release c =
+    let stack = my_stack () in
+    let rec remove_first = function
+      | [] ->
+          record_violation
+            (Printf.sprintf
+               "lock order: thread %s released class %s it does not hold"
+               (M.thread_name (M.self ()))
+               c.cname);
+          []
+      | top :: rest when top.cname = c.cname -> rest
+      | top :: rest -> top :: remove_first rest
+    in
+    stack := remove_first !stack
+
+  let lock_both_by_uid a b =
+    if Slock.uid a = Slock.uid b then Slock.lock a
+    else if Slock.uid a < Slock.uid b then begin
+      Slock.lock a;
+      Slock.lock b
+    end
+    else begin
+      Slock.lock b;
+      Slock.lock a
+    end
+
+  let unlock_both a b =
+    if Slock.uid a = Slock.uid b then Slock.unlock a
+    else begin
+      Slock.unlock a;
+      Slock.unlock b
+    end
+
+  let backout_lock_pair ~first ~second =
+    let rec attempt backouts =
+      Slock.lock first;
+      if Slock.try_lock second then backouts
+      else begin
+        Slock.unlock first;
+        M.spin_pause ();
+        attempt (backouts + 1)
+      end
+    in
+    attempt 0
+end

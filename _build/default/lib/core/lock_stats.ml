@@ -1,0 +1,117 @@
+type t = {
+  acquisitions : int Atomic.t;
+  contentions : int Atomic.t;
+  total_spins : int Atomic.t;
+  tries : int Atomic.t;
+  failed_tries : int Atomic.t;
+  sleeps : int Atomic.t;
+  reads : int Atomic.t;
+  writes : int Atomic.t;
+  upgrades : int Atomic.t;
+  failed_upgrades : int Atomic.t;
+  downgrades : int Atomic.t;
+  recursive_acquires : int Atomic.t;
+  held_cycles : int Atomic.t;
+}
+
+let make () =
+  {
+    acquisitions = Atomic.make 0;
+    contentions = Atomic.make 0;
+    total_spins = Atomic.make 0;
+    tries = Atomic.make 0;
+    failed_tries = Atomic.make 0;
+    sleeps = Atomic.make 0;
+    reads = Atomic.make 0;
+    writes = Atomic.make 0;
+    upgrades = Atomic.make 0;
+    failed_upgrades = Atomic.make 0;
+    downgrades = Atomic.make 0;
+    recursive_acquires = Atomic.make 0;
+    held_cycles = Atomic.make 0;
+  }
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+let incr c = add c 1
+
+let record_acquire t ~contended ~spins =
+  incr t.acquisitions;
+  if contended then incr t.contentions;
+  if spins > 0 then add t.total_spins spins
+
+let record_release t ~held_cycles =
+  if held_cycles > 0 then add t.held_cycles held_cycles
+
+let record_try t ~success =
+  incr t.tries;
+  if not success then incr t.failed_tries
+
+let record_sleep t = incr t.sleeps
+let record_read t = incr t.reads
+let record_write t = incr t.writes
+
+let record_upgrade t ~success =
+  incr t.upgrades;
+  if not success then incr t.failed_upgrades
+
+let record_downgrade t = incr t.downgrades
+let record_recursive t = incr t.recursive_acquires
+
+let acquisitions t = Atomic.get t.acquisitions
+let contentions t = Atomic.get t.contentions
+let total_spins t = Atomic.get t.total_spins
+let tries t = Atomic.get t.tries
+let failed_tries t = Atomic.get t.failed_tries
+let sleeps t = Atomic.get t.sleeps
+let reads t = Atomic.get t.reads
+let writes t = Atomic.get t.writes
+let upgrades t = Atomic.get t.upgrades
+let failed_upgrades t = Atomic.get t.failed_upgrades
+let downgrades t = Atomic.get t.downgrades
+let recursive_acquires t = Atomic.get t.recursive_acquires
+let held_cycles t = Atomic.get t.held_cycles
+
+let first_attempt_rate t =
+  let a = acquisitions t in
+  if a = 0 then 1.0 else float_of_int (a - contentions t) /. float_of_int a
+
+let reset t =
+  let z c = Atomic.set c 0 in
+  z t.acquisitions;
+  z t.contentions;
+  z t.total_spins;
+  z t.tries;
+  z t.failed_tries;
+  z t.sleeps;
+  z t.reads;
+  z t.writes;
+  z t.upgrades;
+  z t.failed_upgrades;
+  z t.downgrades;
+  z t.recursive_acquires;
+  z t.held_cycles
+
+let merge_into ~dst src =
+  let m d s = add d (Atomic.get s) in
+  m dst.acquisitions src.acquisitions;
+  m dst.contentions src.contentions;
+  m dst.total_spins src.total_spins;
+  m dst.tries src.tries;
+  m dst.failed_tries src.failed_tries;
+  m dst.sleeps src.sleeps;
+  m dst.reads src.reads;
+  m dst.writes src.writes;
+  m dst.upgrades src.upgrades;
+  m dst.failed_upgrades src.failed_upgrades;
+  m dst.downgrades src.downgrades;
+  m dst.recursive_acquires src.recursive_acquires;
+  m dst.held_cycles src.held_cycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "acq=%d cont=%d spins=%d tries=%d(-%d) sleeps=%d r=%d w=%d up=%d(-%d) \
+     down=%d rec=%d first-attempt=%.3f"
+    (acquisitions t) (contentions t) (total_spins t) (tries t)
+    (failed_tries t) (sleeps t) (reads t) (writes t) (upgrades t)
+    (failed_upgrades t) (downgrades t) (recursive_acquires t)
+    (first_attempt_rate t)

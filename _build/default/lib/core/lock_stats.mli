@@ -1,0 +1,51 @@
+(** Per-lock statistics.
+
+    The simple-lock declaration macro in the paper's Appendix A stores the
+    lock "in a structure to allow the simple addition of debugging and
+    statistics information"; this module is that structure.  Counters are
+    updated with [Atomic] so they are exact on the simulator and on native
+    multicore. *)
+
+type t
+
+val make : unit -> t
+
+(** {1 Recording} *)
+
+val record_acquire : t -> contended:bool -> spins:int -> unit
+val record_release : t -> held_cycles:int -> unit
+val record_try : t -> success:bool -> unit
+val record_sleep : t -> unit
+val record_read : t -> unit
+val record_write : t -> unit
+val record_upgrade : t -> success:bool -> unit
+val record_downgrade : t -> unit
+val record_recursive : t -> unit
+
+(** {1 Reading} *)
+
+val acquisitions : t -> int
+val contentions : t -> int
+val total_spins : t -> int
+val tries : t -> int
+val failed_tries : t -> int
+val sleeps : t -> int
+val reads : t -> int
+val writes : t -> int
+val upgrades : t -> int
+val failed_upgrades : t -> int
+val downgrades : t -> int
+val recursive_acquires : t -> int
+val held_cycles : t -> int
+
+val first_attempt_rate : t -> float
+(** Fraction of acquisitions that succeeded without contention — the
+    quantity behind the paper's "most locks in a well designed system are
+    acquired on the first attempt" (section 2). *)
+
+val reset : t -> unit
+
+val merge_into : dst:t -> t -> unit
+(** Add every counter of the source into [dst]. *)
+
+val pp : Format.formatter -> t -> unit

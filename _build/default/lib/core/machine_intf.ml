@@ -1,0 +1,133 @@
+(** The machine-dependent interface.
+
+    The paper divides Mach's locking implementation into machine dependent
+    simple locks and machine independent complex locks; "the only machine
+    dependency is the simple lock implementation" (section 4).  This module
+    captures that boundary as an OCaml signature.  Everything in [lib/core]
+    is a functor over {!MACHINE}; two implementations exist:
+
+    - [Mach_hw.Hw_machine]: OCaml 5 domains and [Atomic] — real multicore,
+      used by the native benchmarks;
+    - [Mach_sim.Sim_machine]: the deterministic simulated multiprocessor —
+      used by the kernel model, the schedule-exploration tests and the
+      cycle-model benchmarks. *)
+
+(** An atomic memory cell holding an [int]; the operand of the machine's
+    test-and-set (or similar) instruction.  The paper notes a C integer has
+    sufficed on every architecture encountered (section 4). *)
+module type CELL = sig
+  type t
+
+  val make : ?name:string -> int -> t
+  (** [make v] allocates a cell initialized to [v].  [name] is used by
+      diagnostics only. *)
+
+  val get : t -> int
+  (** Ordinary (cacheable) read. *)
+
+  val set : t -> int -> unit
+  (** Ordinary write; invalidates other processors' cached copies. *)
+
+  val test_and_set : t -> int
+  (** Atomically set the cell to 1 and return its previous value.  The lock
+      has been acquired iff the returned value is 0 (paper, section 2). *)
+
+  val compare_and_swap : t -> expected:int -> desired:int -> bool
+  (** Atomic compare-and-swap; true on success. *)
+
+  val fetch_and_add : t -> int -> int
+  (** Atomically add, returning the previous value. *)
+end
+
+(** The full machine-dependent substrate. *)
+module type MACHINE = sig
+  val name : string
+  (** Human-readable machine name ("native", "sim"). *)
+
+  module Cell : CELL
+
+  (** {1 Execution context} *)
+
+  type thread
+  (** A kernel thread.  Holding of a lock is always associated with a thread
+      (paper, section 4). *)
+
+  val self : unit -> thread
+  (** The current thread.  In interrupt context this is the interrupted
+      thread (interrupt routines lack a thread context of their own;
+      paper, section 7). *)
+
+  val thread_id : thread -> int
+  (** Unique small integer identifying the thread. *)
+
+  val thread_name : thread -> string
+
+  val equal_thread : thread -> thread -> bool
+
+  val in_interrupt : unit -> bool
+  (** True when executing in interrupt context (always false natively). *)
+
+  val cpu_count : unit -> int
+
+  val current_cpu : unit -> int
+
+  (** {1 Spinning} *)
+
+  val spin_pause : unit -> unit
+  (** Called once per iteration of every spin loop.  Native: cpu relax.
+      Sim: a preemption point that also charges spin cycles. *)
+
+  val spin_hint : string -> unit
+  (** Diagnostic: record what the current context is spinning on, so that
+      deadlock reports can name the lock.  No-op natively. *)
+
+  (** {1 Blocking} *)
+
+  val park : unit -> unit
+  (** Block the current thread until {!unpark}.  Permit semantics: if an
+      unpark was delivered since the last park, return immediately and
+      consume the permit.  Must not be called from interrupt context. *)
+
+  val unpark : thread -> unit
+  (** Make [thread] runnable (or grant it a permit if it is not parked). *)
+
+  (** {1 Interrupt priority} *)
+
+  val set_spl : Spl.t -> Spl.t
+  (** Set the current processor's interrupt priority level, returning the
+      previous level.  Native machines have no simulated interrupts; there
+      the level is tracked for assertion checking only. *)
+
+  val get_spl : unit -> Spl.t
+
+  (** {1 Accounting} *)
+
+  val cycles : int -> unit
+  (** Charge [n] cycles of local work to the current processor.  No-op
+      natively (real time is measured by the benchmark harness). *)
+
+  val now_cycles : unit -> int
+  (** Current processor's cycle clock (native: a monotonic tick counter). *)
+
+  (** {1 Per-thread storage} *)
+
+  val tls_get : thread -> key:int -> int
+  (** Small per-thread integer slots, used by the machine-independent layer
+      for debug counters (e.g. number of simple locks held).  Unset slots
+      read as 0. *)
+
+  val tls_set : thread -> key:int -> int -> unit
+
+  (** {1 Failure} *)
+
+  val fatal : string -> 'a
+  (** Kernel panic: a design-rule violation (e.g. blocking while holding a
+      simple lock) was detected. *)
+end
+
+(** Keys into the per-thread integer slots. *)
+module Tls_key = struct
+  let simple_locks_held = 0
+  let complex_spin_locks_held = 1
+  let in_assert_wait = 2
+end

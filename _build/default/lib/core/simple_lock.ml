@@ -1,0 +1,140 @@
+module Tls_key = Machine_intf.Tls_key
+
+module Make (M : Machine_intf.MACHINE) = struct
+  module S = Spin.Make (M)
+
+  type t = {
+    id : int;
+    cell : M.Cell.t;
+    lname : string;
+    protocol : Spin.protocol;
+    stats : Lock_stats.t;
+    mutable holder : M.thread option;
+    mutable acquired_spl : Spl.t option; (* learned or pinned level *)
+    mutable acquired_at : int; (* cycle clock at acquisition *)
+  }
+
+  let checking_flag = Atomic.make true
+  let uniprocessor = Atomic.make false
+  let set_checking b = Atomic.set checking_flag b
+  let checking () = Atomic.get checking_flag
+  let set_uniprocessor b = Atomic.set uniprocessor b
+
+  let next_id = Atomic.make 0
+
+  let make ?name ?(protocol = Spin.Tas_then_ttas) ?spl () =
+    let id = Atomic.fetch_and_add next_id 1 in
+    let lname =
+      match name with Some n -> n | None -> Printf.sprintf "slock%d" id
+    in
+    {
+      id;
+      cell = M.Cell.make ~name:lname 0;
+      lname;
+      protocol;
+      stats = Lock_stats.make ();
+      holder = None;
+      acquired_spl = spl;
+      acquired_at = 0;
+    }
+
+  let bump_held delta =
+    let self = M.self () in
+    let k = Tls_key.simple_locks_held in
+    M.tls_set self ~key:k (M.tls_get self ~key:k + delta)
+
+  let check_spl t =
+    let spl = M.get_spl () in
+    match t.acquired_spl with
+    | None -> t.acquired_spl <- Some spl
+    | Some expected ->
+        if not (Spl.equal expected spl) then
+          M.fatal
+            (Printf.sprintf
+               "simple lock %s: acquired at %s but pinned/first acquired at \
+                %s (same-spl rule, paper section 7)"
+               t.lname (Spl.to_string spl) (Spl.to_string expected))
+
+  let note_acquired t =
+    if checking () then begin
+      check_spl t;
+      t.holder <- Some (M.self ());
+      t.acquired_at <- M.now_cycles ();
+      bump_held 1
+    end
+
+  let note_released t =
+    if checking () then begin
+      (match t.holder with
+      | Some h when M.equal_thread h (M.self ()) -> ()
+      | Some h ->
+          M.fatal
+            (Printf.sprintf "simple lock %s: unlocked by %s but held by %s"
+               t.lname
+               (M.thread_name (M.self ()))
+               (M.thread_name h))
+      | None ->
+          M.fatal (Printf.sprintf "simple lock %s: unlock while free" t.lname));
+      t.holder <- None;
+      Lock_stats.record_release t.stats
+        ~held_cycles:(M.now_cycles () - t.acquired_at);
+      bump_held (-1)
+    end
+
+  let lock t =
+    if not (Atomic.get uniprocessor) then begin
+      (if checking () then
+         match t.holder with
+         | Some h when M.equal_thread h (M.self ()) ->
+             M.fatal
+               (Printf.sprintf
+                  "simple lock %s: recursive acquisition by %s (simple locks \
+                   never permit recursion)"
+                  t.lname
+                  (M.thread_name h))
+         | _ -> ());
+      let spins = S.acquire ~hint:t.lname t.protocol t.cell in
+      Lock_stats.record_acquire t.stats ~contended:(spins > 0) ~spins;
+      note_acquired t
+    end
+
+  let unlock t =
+    if not (Atomic.get uniprocessor) then begin
+      note_released t;
+      S.release t.cell
+    end
+
+  let try_lock t =
+    if Atomic.get uniprocessor then true
+    else begin
+      let ok = S.try_acquire t.cell in
+      Lock_stats.record_try t.stats ~success:ok;
+      if ok then begin
+        Lock_stats.record_acquire t.stats ~contended:false ~spins:0;
+        note_acquired t
+      end;
+      ok
+    end
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e ->
+        unlock t;
+        raise e
+
+  let is_locked t = M.Cell.get t.cell <> 0
+  let holder t = t.holder
+
+  let held_by_self t =
+    match t.holder with
+    | Some h -> M.equal_thread h (M.self ())
+    | None -> false
+
+  let name t = t.lname
+  let stats t = t.stats
+  let uid t = t.id
+end

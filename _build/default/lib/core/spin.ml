@@ -1,0 +1,64 @@
+type protocol = Tas | Ttas | Tas_then_ttas | Ttas_backoff
+
+let all_protocols = [ Tas; Ttas; Tas_then_ttas; Ttas_backoff ]
+
+let protocol_name = function
+  | Tas -> "tas"
+  | Ttas -> "ttas"
+  | Tas_then_ttas -> "tas+ttas"
+  | Ttas_backoff -> "ttas-backoff"
+
+let protocol_of_string = function
+  | "tas" -> Some Tas
+  | "ttas" -> Some Ttas
+  | "tas+ttas" -> Some Tas_then_ttas
+  | "ttas-backoff" -> Some Ttas_backoff
+  | _ -> None
+
+module Make (M : Machine_intf.MACHINE) = struct
+  let max_backoff = 1024
+
+  (* Spin on the cacheable read until the lock looks free, then attempt the
+     atomic instruction; repeat.  Counts iterations for statistics. *)
+  let ttas_loop ~backoff cell =
+    let rec loop spins delay =
+      if M.Cell.get cell = 0 && M.Cell.test_and_set cell = 0 then spins
+      else begin
+        M.spin_pause ();
+        if backoff then begin
+          for _ = 1 to delay do
+            M.cycles 1
+          done;
+          loop (spins + 1) (Stdlib.min (delay * 2) max_backoff)
+        end
+        else loop (spins + 1) delay
+      end
+    in
+    loop 0 1
+
+  let tas_loop cell =
+    let rec loop spins =
+      if M.Cell.test_and_set cell = 0 then spins
+      else begin
+        M.spin_pause ();
+        loop (spins + 1)
+      end
+    in
+    loop 0
+
+  let acquire ?hint protocol cell =
+    (match hint with Some h -> M.spin_hint h | None -> ());
+    match protocol with
+    | Tas -> tas_loop cell
+    | Ttas -> ttas_loop ~backoff:false cell
+    | Tas_then_ttas ->
+        if M.Cell.test_and_set cell = 0 then 0
+        else begin
+          M.spin_pause ();
+          1 + ttas_loop ~backoff:false cell
+        end
+    | Ttas_backoff -> ttas_loop ~backoff:true cell
+
+  let try_acquire cell = M.Cell.test_and_set cell = 0
+  let release cell = M.Cell.set cell 0
+end

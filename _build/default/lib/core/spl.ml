@@ -1,0 +1,51 @@
+type t =
+  | Spl0
+  | Splsoftclock
+  | Splnet
+  | Splbio
+  | Splvm
+  | Splclock
+  | Splhigh
+
+let all = [ Spl0; Splsoftclock; Splnet; Splbio; Splvm; Splclock; Splhigh ]
+
+let rank = function
+  | Spl0 -> 0
+  | Splsoftclock -> 1
+  | Splnet -> 2
+  | Splbio -> 3
+  | Splvm -> 4
+  | Splclock -> 5
+  | Splhigh -> 6
+
+let of_rank = function
+  | 0 -> Spl0
+  | 1 -> Splsoftclock
+  | 2 -> Splnet
+  | 3 -> Splbio
+  | 4 -> Splvm
+  | 5 -> Splclock
+  | 6 -> Splhigh
+  | n -> invalid_arg (Printf.sprintf "Spl.of_rank: %d" n)
+
+let compare a b = Stdlib.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let max a b = if rank a >= rank b then a else b
+let min a b = if rank a > rank b then b else a
+let ( <= ) a b = rank a <= rank b
+let ( < ) a b = rank a < rank b
+
+(* An interrupt of priority [level] is accepted only when it is strictly
+   above the cpu's current priority. *)
+let masks ~at level = Stdlib.( <= ) (rank level) (rank at)
+
+let to_string = function
+  | Spl0 -> "spl0"
+  | Splsoftclock -> "splsoftclock"
+  | Splnet -> "splnet"
+  | Splbio -> "splbio"
+  | Splvm -> "splvm"
+  | Splclock -> "splclock"
+  | Splhigh -> "splhigh"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,47 @@
+(** Interrupt priority levels (spl -- "set priority level").
+
+    The Mach kernel associates a single interrupt priority level with each
+    lock: a lock must always be acquired at the same spl and held at that
+    level or higher (paper, section 7).  This module defines the level
+    lattice used throughout the reproduction.  Levels are totally ordered;
+    [Spl0] masks nothing, [Splhigh] masks everything. *)
+
+type t =
+  | Spl0          (** all interrupts enabled *)
+  | Splsoftclock  (** software clock interrupts masked *)
+  | Splnet        (** network interrupts masked *)
+  | Splbio        (** block i/o interrupts masked *)
+  | Splvm         (** vm / tlb-shootdown interprocessor interrupts masked *)
+  | Splclock      (** hardware clock interrupts masked *)
+  | Splhigh       (** all interrupts masked *)
+
+val all : t list
+(** Every level, in increasing order of priority. *)
+
+val rank : t -> int
+(** Numeric rank; [rank Spl0 = 0], strictly increasing along [all]. *)
+
+val of_rank : int -> t
+(** Inverse of [rank].  @raise Invalid_argument on out-of-range input. *)
+
+val compare : t -> t -> int
+(** Total order by rank. *)
+
+val equal : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+
+val max : t -> t -> t
+
+val min : t -> t -> t
+
+val masks : at:t -> t -> bool
+(** [masks ~at level] is true when a cpu running at spl [at] does not accept
+    an interrupt of priority [level]: interrupts are delivered only when
+    their level is strictly above the current spl. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hw/hw_machine.ml: Array Atomic Condition Domain Hashtbl Mach_core Mutex Printf Sys Thread

@@ -1,0 +1,1 @@
+lib/hw/hw_sync.ml: Hw_machine Mach_core

@@ -1,0 +1,122 @@
+module Spl = Mach_core.Spl
+
+exception Kernel_panic of string
+
+let name = "native"
+
+module Cell = struct
+  type t = { a : int Atomic.t; cname : string }
+
+  let make ?(name = "cell") v = { a = Atomic.make v; cname = name }
+  let get t = Atomic.get t.a
+  let set t v = Atomic.set t.a v
+
+  (* [Atomic.exchange] gives the true test-and-set; present since 4.12. *)
+  let test_and_set t = Atomic.exchange t.a 1
+
+  let compare_and_swap t ~expected ~desired =
+    Atomic.compare_and_set t.a expected desired
+
+  let fetch_and_add t n = Atomic.fetch_and_add t.a n
+  let name t = t.cname
+  let _ = name
+end
+
+type thread = {
+  tid : int;
+  tname : string;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable permits : int;
+  mutable tls : int array;
+  mutable spl : Spl.t;
+}
+
+(* Registry keyed by systhread id (unique across domains). *)
+let registry : (int, thread) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+let tid_counter = Atomic.make 0
+
+let make_thread tname =
+  {
+    tid = Atomic.fetch_and_add tid_counter 1;
+    tname;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    permits = 0;
+    tls = Array.make 8 0;
+    spl = Spl.Spl0;
+  }
+
+let key () = Thread.id (Thread.self ())
+
+let register ?name () =
+  let k = key () in
+  Mutex.lock registry_mutex;
+  let t =
+    match Hashtbl.find_opt registry k with
+    | Some t -> t
+    | None ->
+        let tname =
+          match name with Some n -> n | None -> Printf.sprintf "native-%d" k
+        in
+        let t = make_thread tname in
+        Hashtbl.add registry k t;
+        t
+  in
+  Mutex.unlock registry_mutex;
+  t
+
+let self () = register ()
+let thread_id t = t.tid
+let thread_name t = t.tname
+let equal_thread a b = a.tid = b.tid
+let in_interrupt () = false
+let cpu_count () = Domain.recommended_domain_count ()
+let current_cpu () = (Domain.self () :> int)
+let spin_pause () = Domain.cpu_relax ()
+let spin_hint _ = ()
+
+let park () =
+  let t = self () in
+  Mutex.lock t.mutex;
+  while t.permits = 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  t.permits <- t.permits - 1;
+  Mutex.unlock t.mutex
+
+let unpark t =
+  Mutex.lock t.mutex;
+  t.permits <- t.permits + 1;
+  Condition.signal t.cond;
+  Mutex.unlock t.mutex
+
+let set_spl level =
+  let t = self () in
+  let old = t.spl in
+  t.spl <- level;
+  old
+
+let get_spl () = (self ()).spl
+let cycles _ = ()
+
+(* A coarse monotonic tick so that held-time statistics are non-trivial
+   natively; granularity is whatever [Sys.time] offers. *)
+let now_cycles () = int_of_float (Sys.time () *. 1e6)
+
+let grow_tls t key =
+  if key >= Array.length t.tls then begin
+    let bigger = Array.make (max (key + 1) (2 * Array.length t.tls)) 0 in
+    Array.blit t.tls 0 bigger 0 (Array.length t.tls);
+    t.tls <- bigger
+  end
+
+let tls_get t ~key =
+  if key < Array.length t.tls then t.tls.(key) else 0
+
+let tls_set t ~key v =
+  grow_tls t key;
+  t.tls.(key) <- v
+
+let fatal msg = raise (Kernel_panic msg)

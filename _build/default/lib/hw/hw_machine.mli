@@ -1,0 +1,18 @@
+(** The native machine: {!Mach_core.Machine_intf.MACHINE} implemented on
+    OCaml 5 domains and [Atomic].
+
+    This is the "machine dependent" layer for real multicore hardware,
+    used by the native benchmarks (experiments E1/E2 wall-clock columns).
+    There are no simulated interrupts natively: [set_spl] tracks the level
+    per thread purely so the same-spl assertion machinery is exercised,
+    and interrupt-dependent subsystems (TLB shootdown) run only on the
+    simulated machine. *)
+
+include Mach_core.Machine_intf.MACHINE
+
+val register : ?name:string -> unit -> thread
+(** Explicitly register the calling domain as a kernel thread; implicit on
+    first use of [self ()]. *)
+
+exception Kernel_panic of string
+(** Raised by [fatal]. *)

@@ -1,0 +1,23 @@
+let parallel n f =
+  let domains =
+    List.init n (fun i -> Domain.spawn (fun () -> f i))
+  in
+  List.map Domain.join domains
+
+let parallel_with_barrier n f =
+  let ready = Atomic.make 0 in
+  let go = Atomic.make false in
+  let body i =
+    let thunk = f i in
+    ignore (Atomic.fetch_and_add ready 1);
+    while not (Atomic.get go) do
+      Domain.cpu_relax ()
+    done;
+    thunk ()
+  in
+  let domains = List.init n (fun i -> Domain.spawn (fun () -> body i)) in
+  while Atomic.get ready < n do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set go true;
+  List.map Domain.join domains

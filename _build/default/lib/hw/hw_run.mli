@@ -1,0 +1,12 @@
+(** Helpers to run workloads across OCaml domains for the native
+    benchmarks: spawn [n] domains, run [f] in each, join all. *)
+
+val parallel : int -> (int -> 'a) -> 'a list
+(** [parallel n f] runs [f i] for [i] in [0 .. n-1], each in its own
+    domain, and returns the results in index order.  [f 0] runs on a
+    fresh domain as well, so all participants are symmetric. *)
+
+val parallel_with_barrier : int -> (int -> unit -> 'a) -> 'a list
+(** Like {!parallel} but [f i] is applied to [i] first (setup phase); the
+    returned thunks then start together after all domains finish setup —
+    for contention benchmarks that need a simultaneous start. *)

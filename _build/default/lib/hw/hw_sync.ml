@@ -1,0 +1,4 @@
+(** The machine-independent synchronization layer instantiated on the
+    native machine — used by the real-multicore benchmarks and tests. *)
+
+include Mach_core.Sync.Make (Hw_machine)

@@ -1,0 +1,1 @@
+lib/ipc/mig.ml: Hashtbl List Mach_ksync Port Printf

@@ -1,0 +1,1 @@
+lib/ipc/mig.mli: Mach_ksync Port

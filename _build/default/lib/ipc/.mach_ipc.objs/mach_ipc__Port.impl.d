@@ -1,0 +1,1 @@
+lib/ipc/port.ml: List Mach_ksync

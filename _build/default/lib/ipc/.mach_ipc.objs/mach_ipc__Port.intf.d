@@ -1,0 +1,1 @@
+lib/ipc/port.mli: Mach_ksync

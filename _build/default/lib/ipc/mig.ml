@@ -1,0 +1,116 @@
+module Kobj = Mach_ksync.Kobj
+
+type args = Port.element list
+type reply = (args, int) result
+
+type routine = {
+  routine_id : int;
+  routine_name : string;
+  handler : Kobj.t option -> args -> reply;
+  consumes_reference : bool;
+}
+
+type registry = (int, routine) Hashtbl.t
+
+let make_registry () = Hashtbl.create 32
+
+let register reg ?(consumes_reference = false) ~id ~name handler =
+  if Hashtbl.mem reg id then
+    invalid_arg (Printf.sprintf "Mig.register: duplicate routine id %d" id);
+  Hashtbl.replace reg id
+    { routine_id = id; routine_name = name; handler; consumes_reference }
+
+let lookup reg id = Hashtbl.find_opt reg id
+
+let err_deactivated = 1001
+let err_no_such_routine = 1002
+let err_bad_arguments = 1003
+
+(* Replies are encoded as: Int status :: results.  Status 0 = success. *)
+
+type call_error = [ `Dead_port | `Server_failure of int ]
+
+let call port ~id args =
+  let reply_port = Port.create ~name:"reply" ~queue_limit:1 () in
+  let finish r =
+    Port.destroy reply_port;
+    Port.release reply_port;
+    r
+  in
+  match
+    Port.send port { Port.msg_op = id; reply_to = Some reply_port; body = args }
+  with
+  | Error `Dead_port -> finish (Error `Dead_port)
+  | Ok () -> (
+      match Port.receive reply_port with
+      | Error `Dead_port | Error `Would_block -> finish (Error `Dead_port)
+      | Ok msg -> (
+          (* Ownership of any port rights in the reply body transfers to
+             the caller, which must release them when done. *)
+          match msg.Port.body with
+          | Port.Int 0 :: results -> finish (Ok results)
+          | Port.Int code :: _ -> finish (Error (`Server_failure code))
+          | _ -> finish (Error (`Server_failure err_bad_arguments))))
+
+let send_async port ~id args =
+  match Port.send port { Port.msg_op = id; reply_to = None; body = args } with
+  | Error `Dead_port -> Error `Dead_port
+  | Ok () -> Ok ()
+
+let reply_to_message msg result =
+  match msg.Port.reply_to with
+  | None -> ()
+  | Some rp ->
+      let body =
+        match result with
+        | Ok results -> Port.Int 0 :: results
+        | Error code -> [ Port.Int code ]
+      in
+      (* A dead reply port just drops the reply. *)
+      ignore (Port.send rp { Port.msg_op = msg.Port.msg_op; reply_to = None; body });
+      (* The receiver owned the reply-port reference carried by the
+         request; sending cloned what it needed. *)
+      Port.release rp
+
+let serve_one reg port =
+  match Port.receive port with
+  | Error `Dead_port | Error `Would_block -> Error `Dead_port
+  | Ok msg -> (
+      (* Step 2: determine the represented object from the port and obtain
+         a reference to it. *)
+      let obj = Port.translate port in
+      let release_body () =
+        List.iter
+          (function
+            | Port.Port_right p -> Port.release p
+            | Port.Int _ | Port.Str _ -> ())
+          msg.Port.body
+      in
+      match lookup reg msg.Port.msg_op with
+      | None ->
+          reply_to_message msg (Error err_no_such_routine);
+          release_body ();
+          (match obj with Some o -> Kobj.release o | None -> ());
+          Ok ()
+      | Some routine ->
+          (* Step 3: the operation executes with the object reference
+             preventing the object and its port from vanishing. *)
+          let result = routine.handler obj msg.Port.body in
+          (* Step 4: release the object reference.  Mach 3.0 style: a
+             successful operation consumed it; release only on failure. *)
+          (match (obj, result, routine.consumes_reference) with
+          | Some o, Ok _, true -> ignore o
+          | Some o, _, _ -> Kobj.release o
+          | None, _, _ -> ());
+          (* Step 5: the reply message returns the result. *)
+          reply_to_message msg result;
+          release_body ();
+          Ok ())
+
+let serve_loop ?(stop = fun () -> false) reg port =
+  let rec loop () =
+    if stop () then ()
+    else
+      match serve_one reg port with Ok () -> loop () | Error `Dead_port -> ()
+  in
+  loop ()

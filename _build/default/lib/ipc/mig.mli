@@ -1,0 +1,79 @@
+(** A MiG analog: the Mach Interface Generator produced stub code that
+    packs/unpacks messages and performs the port-to-object translation, so
+    programmers never handled message formats directly (paper, section 3).
+
+    Here, [routine] registrations play the role of the generated server
+    stubs, {!call} plays the client stub (the msg_rpc pair of messages:
+    request + reply = one RPC, section 10), and {!serve_one}/{!serve_loop}
+    run the kernel side of the section 10 sequence:
+
+    + receive the request message (it carried a reference to the port);
+    + determine the represented object from the port and obtain a
+      reference to it (the translation the stubs generate);
+    + run the operation (which takes/releases the object lock as needed);
+    + release the object reference — in Mach 2.5 style the interface code
+      always releases it; in Mach 3.0 style a {e successful} operation
+      consumes the reference and the interface code releases it only on
+      failure;
+    + send the reply carrying the result. *)
+
+type args = Port.element list
+
+type reply = (args, int) result
+(** [Error code] is returned to the caller as a failure code (e.g. an
+    operation on a deactivated object, section 9). *)
+
+type routine = {
+  routine_id : int;
+  routine_name : string;
+  handler : Mach_ksync.Kobj.t option -> args -> reply;
+      (** receives the translated object (with a reference held for the
+          duration of the operation) and the request body *)
+  consumes_reference : bool;
+      (** Mach 3.0 convention: a successful operation consumes the object
+          reference itself (e.g. termination), so the interface code must
+          not release it. *)
+}
+
+type registry
+
+val make_registry : unit -> registry
+
+val register :
+  registry ->
+  ?consumes_reference:bool ->
+  id:int ->
+  name:string ->
+  (Mach_ksync.Kobj.t option -> args -> reply) ->
+  unit
+
+val lookup : registry -> int -> routine option
+
+(** {1 Client side} *)
+
+type call_error = [ `Dead_port | `Server_failure of int ]
+
+val call : Port.t -> id:int -> args -> (args, call_error) result
+(** Synchronous RPC: allocate a reply port, send the request, block
+    receiving the reply, destroy the reply port.  Ownership of any port
+    rights in the returned results transfers to the caller, which must
+    release them. *)
+
+val send_async : Port.t -> id:int -> args -> (unit, [ `Dead_port ]) result
+(** One-way message, no reply expected. *)
+
+(** {1 Server side} *)
+
+val serve_one : registry -> Port.t -> (unit, [ `Dead_port ]) result
+(** Receive and dispatch one request on the given service port, executing
+    the section 10 sequence, and reply (if a reply port was supplied). *)
+
+val serve_loop : ?stop:(unit -> bool) -> registry -> Port.t -> unit
+(** Serve until the port dies or [stop ()] becomes true (checked between
+    requests). *)
+
+(** {1 Well-known failure codes} *)
+
+val err_deactivated : int
+val err_no_such_routine : int
+val err_bad_arguments : int

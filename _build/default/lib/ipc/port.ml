@@ -1,0 +1,205 @@
+module K = Mach_ksync.Ksync
+module Kobj = Mach_ksync.Kobj
+
+type t = {
+  pobj : Kobj.t;
+  mutable object_ptr : Kobj.t option; (* represented object, with a ref *)
+  mutable queue : queued_message list;
+  queue_limit : int;
+  msg_event : K.Ev.event; (* receivers wait here *)
+  space_event : K.Ev.event; (* senders wait here *)
+}
+
+and element = Int of int | Str of string | Port_right of t
+
+and message = { msg_op : int; reply_to : t option; body : element list }
+
+(* While queued, a message holds a reference to the destination port and
+   to every port right it carries (section 10, steps 1 and 5). *)
+and queued_message = { qm : message; dest : t }
+
+type send_error = [ `Dead_port ]
+type receive_error = [ `Dead_port | `Would_block ]
+
+type Kobj.payload += Port_payload of t
+
+let create ?name ?(queue_limit = 16) () =
+  let p =
+    {
+      pobj = Kobj.make ?name Kobj.No_payload;
+      object_ptr = None;
+      queue = [];
+      queue_limit;
+      msg_event = K.Ev.fresh_event ();
+      space_event = K.Ev.fresh_event ();
+    }
+  in
+  Kobj.set_payload p.pobj (Port_payload p);
+  p
+
+let name t = Kobj.name t.pobj
+let uid t = Kobj.uid t.pobj
+let kobj t = t.pobj
+let reference t = Kobj.reference t.pobj
+let release t = Kobj.release t.pobj
+let ref_count t = Kobj.ref_count t.pobj
+let is_active t = Kobj.is_active t.pobj
+
+(* ------------------------------------------------------------------ *)
+(* The represented object                                               *)
+(* ------------------------------------------------------------------ *)
+
+let set_object t obj =
+  Kobj.with_lock t.pobj (fun () -> t.object_ptr <- Some obj)
+
+let clear_object t =
+  Kobj.with_lock t.pobj (fun () ->
+      let o = t.object_ptr in
+      t.object_ptr <- None;
+      o)
+
+let translate t =
+  Kobj.lock t.pobj;
+  let result =
+    if not (Kobj.is_active t.pobj) then None
+    else
+      match t.object_ptr with
+      | None -> None
+      | Some obj ->
+          (* The existing reference held by the port's pointer ensures the
+             object cannot vanish while we clone under the port lock. *)
+          Kobj.reference_under (Kobj.object_lock t.pobj) obj;
+          Some obj
+  in
+  Kobj.unlock t.pobj;
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Message references                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let reference_rights msg =
+  List.iter (function Port_right p -> reference p | Int _ | Str _ -> ()) msg.body;
+  match msg.reply_to with Some p -> reference p | None -> ()
+
+let release_rights msg =
+  List.iter (function Port_right p -> release p | Int _ | Str _ -> ()) msg.body;
+  match msg.reply_to with Some p -> release p | None -> ()
+
+let destroy_message = release_rights
+
+(* ------------------------------------------------------------------ *)
+(* Send / receive                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue_locked t msg =
+  (* Clone the references the queued message holds. *)
+  reference t;
+  reference_rights msg;
+  t.queue <- t.queue @ [ { qm = msg; dest = t } ];
+  ignore (K.Ev.thread_wakeup t.msg_event)
+
+let send t msg =
+  let rec attempt () =
+    Kobj.lock t.pobj;
+    if not (Kobj.is_active t.pobj) then begin
+      Kobj.unlock t.pobj;
+      Error `Dead_port
+    end
+    else if List.length t.queue >= t.queue_limit then begin
+      (* Queue full: release the port lock and wait for space. *)
+      ignore (K.Ev.thread_sleep t.space_event (Kobj.object_lock t.pobj));
+      attempt ()
+    end
+    else begin
+      enqueue_locked t msg;
+      Kobj.unlock t.pobj;
+      Ok ()
+    end
+  in
+  attempt ()
+
+let try_send t msg =
+  Kobj.lock t.pobj;
+  let r =
+    if not (Kobj.is_active t.pobj) then Error `Dead_port
+    else if List.length t.queue >= t.queue_limit then Error `Would_block
+    else begin
+      enqueue_locked t msg;
+      Ok ()
+    end
+  in
+  Kobj.unlock t.pobj;
+  r
+
+let dequeue_locked t =
+  match t.queue with
+  | [] -> None
+  | q :: rest ->
+      t.queue <- rest;
+      ignore (K.Ev.thread_wakeup t.space_event);
+      Some q
+
+let receive t =
+  let rec attempt () =
+    Kobj.lock t.pobj;
+    if not (Kobj.is_active t.pobj) then begin
+      Kobj.unlock t.pobj;
+      Error `Dead_port
+    end
+    else
+      match dequeue_locked t with
+      | Some q ->
+          Kobj.unlock t.pobj;
+          (* The queued message's destination-port reference is released;
+             body rights and the reply port transfer to the receiver. *)
+          release q.dest;
+          Ok q.qm
+      | None ->
+          ignore (K.Ev.thread_sleep t.msg_event (Kobj.object_lock t.pobj));
+          attempt ()
+  in
+  attempt ()
+
+let try_receive t =
+  Kobj.lock t.pobj;
+  if not (Kobj.is_active t.pobj) then begin
+    Kobj.unlock t.pobj;
+    Error `Dead_port
+  end
+  else
+    match dequeue_locked t with
+    | Some q ->
+        Kobj.unlock t.pobj;
+        release q.dest;
+        Ok q.qm
+    | None ->
+        Kobj.unlock t.pobj;
+        Error `Would_block
+
+let queued t = Kobj.with_lock t.pobj (fun () -> List.length t.queue)
+
+(* ------------------------------------------------------------------ *)
+(* Death                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let destroy t =
+  Kobj.lock t.pobj;
+  if Kobj.deactivate t.pobj then begin
+    let drained = t.queue in
+    t.queue <- [];
+    let obj = t.object_ptr in
+    t.object_ptr <- None;
+    (* Waiters re-check the active flag and fail with Dead_port. *)
+    ignore (K.Ev.thread_wakeup t.msg_event);
+    ignore (K.Ev.thread_wakeup t.space_event);
+    Kobj.unlock t.pobj;
+    (* References are released outside the port lock (section 8). *)
+    List.iter
+      (fun q ->
+        release q.dest;
+        release_rights q.qm)
+      drained;
+    match obj with Some o -> Kobj.release o | None -> ()
+  end
+  else Kobj.unlock t.pobj

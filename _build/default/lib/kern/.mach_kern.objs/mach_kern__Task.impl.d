@@ -1,0 +1,1 @@
+lib/kern/task.ml: List Mach_ipc Mach_ksync Mach_sim Mach_vm Printf

@@ -1,0 +1,1 @@
+lib/kern/task.mli: Mach_ipc Mach_ksync Mach_vm

@@ -1,0 +1,1 @@
+lib/kern/timer.ml: Array Mach_sim Printf

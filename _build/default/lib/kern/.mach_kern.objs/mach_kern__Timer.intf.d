@@ -1,0 +1,1 @@
+lib/kern/timer.mli:

@@ -1,0 +1,1 @@
+lib/kern/zalloc.ml: List Mach_ksync Printf

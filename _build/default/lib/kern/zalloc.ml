@@ -1,0 +1,64 @@
+module K = Mach_ksync.Ksync
+
+type t = {
+  zname : string;
+  zlock : K.Slock.t;
+  mutable free_elements : int list;
+  zcapacity : int;
+  event : K.Ev.event;
+  mutable waits : int;
+}
+
+let create ?(name = "zone") ~capacity () =
+  {
+    zname = name;
+    zlock = K.Slock.make ~name:(name ^ ".lock") ();
+    free_elements = List.init capacity (fun i -> i);
+    zcapacity = capacity;
+    event = K.Ev.fresh_event ();
+    waits = 0;
+  }
+
+let name t = t.zname
+let capacity t = t.zcapacity
+
+let in_use t =
+  K.Slock.with_lock t.zlock (fun () ->
+      t.zcapacity - List.length t.free_elements)
+
+let try_alloc t =
+  K.Slock.with_lock t.zlock (fun () ->
+      match t.free_elements with
+      | [] -> None
+      | e :: rest ->
+          t.free_elements <- rest;
+          Some e)
+
+let alloc t =
+  let rec attempt () =
+    K.Slock.lock t.zlock;
+    match t.free_elements with
+    | e :: rest ->
+        t.free_elements <- rest;
+        K.Slock.unlock t.zlock;
+        e
+    | [] ->
+        t.waits <- t.waits + 1;
+        ignore (K.Ev.thread_sleep t.event t.zlock);
+        attempt ()
+  in
+  attempt ()
+
+let free t e =
+  K.Slock.lock t.zlock;
+  if e < 0 || e >= t.zcapacity || List.mem e t.free_elements then begin
+    K.Slock.unlock t.zlock;
+    K.Machine.fatal (Printf.sprintf "zone %s: bad free of %d" t.zname e)
+  end
+  else begin
+    t.free_elements <- e :: t.free_elements;
+    ignore (K.Ev.thread_wakeup t.event);
+    K.Slock.unlock t.zlock
+  end
+
+let exhausted_waits t = t.waits

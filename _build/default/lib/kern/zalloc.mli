@@ -1,0 +1,24 @@
+(** Zone allocator: fixed-size kernel object allocation.
+
+    Memory allocation is the paper's canonical example of an operation
+    that "blocks if memory is not available" (section 4) and therefore
+    may only run under sleep locks.  A zone holds a bounded number of
+    elements; [alloc] blocks when the zone is exhausted until someone
+    frees. *)
+
+type t
+
+val create : ?name:string -> capacity:int -> unit -> t
+val name : t -> string
+val capacity : t -> int
+val in_use : t -> int
+
+val alloc : t -> int
+(** Take an element (an opaque id in [0, capacity)); blocks while the
+    zone is exhausted.  Must not be called with simple locks held. *)
+
+val try_alloc : t -> int option
+val free : t -> int -> unit
+
+val exhausted_waits : t -> int
+(** How many allocations had to sleep (diagnostics). *)

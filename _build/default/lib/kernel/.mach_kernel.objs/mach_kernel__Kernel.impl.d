@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: List Mach_ipc Mach_kern Mach_ksync Mach_sim Mach_vm Option Printf

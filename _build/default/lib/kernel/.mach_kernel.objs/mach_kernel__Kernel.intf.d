@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Mach_ipc Mach_kern Mach_vm

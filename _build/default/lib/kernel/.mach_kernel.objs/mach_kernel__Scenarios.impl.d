@@ -1,0 +1,1 @@
+lib/kernel/scenarios.ml: Array Fun Kernel List Mach_core Mach_ipc Mach_ksync Mach_sim Printf

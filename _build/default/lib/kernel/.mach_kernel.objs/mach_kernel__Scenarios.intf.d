@@ -1,0 +1,1 @@
+lib/kernel/scenarios.mli: Kernel

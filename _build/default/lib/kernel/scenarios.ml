@@ -1,0 +1,224 @@
+module Engine = Mach_sim.Sim_engine
+module K = Mach_ksync.Ksync
+module Spl = Mach_core.Spl
+module Port = Mach_ipc.Port
+module Mig = Mach_ipc.Mig
+
+(* ------------------------------------------------------------------ *)
+(* The section 7 three-processor interrupt deadlock                     *)
+(* ------------------------------------------------------------------ *)
+
+let interrupt_barrier_scenario ~disciplined () =
+  if Engine.cpu_count () < 3 then
+    invalid_arg "interrupt_barrier_scenario: needs at least 3 cpus";
+  (* The same-spl rule is exactly what the buggy variant violates; its
+     checker must stand down so we can observe the consequence. *)
+  if not disciplined then K.Slock.set_checking false;
+  Fun.protect ~finally:(fun () -> K.Slock.set_checking true)
+  @@ fun () ->
+  let lock = K.Slock.make ~name:"the-lock" () in
+  let p1_has_lock = Engine.Cell.make ~name:"p1-has-lock" 0 in
+  let p2_spinning = Engine.Cell.make ~name:"p2-spinning" 0 in
+  let ipis_posted = Engine.Cell.make ~name:"ipis-posted" 0 in
+  let checked_in = Engine.Cell.make ~name:"barrier-in" 0 in
+  let barrier_go = Engine.Cell.make ~name:"barrier-go" 0 in
+  (* Processor 1: holds the lock.  Disciplined: at splvm (interrupts
+     that matter are masked while holding).  Buggy: at spl0 (interrupts
+     enabled while holding the lock). *)
+  let p1 =
+    Engine.spawn ~name:"p1" ~bound:0 (fun () ->
+        let old =
+          if disciplined then Engine.set_spl Spl.Splvm
+          else Engine.get_spl ()
+        in
+        K.Slock.lock lock;
+        Engine.Cell.set p1_has_lock 1;
+        (* Hold the lock until the initiator has posted its interrupts. *)
+        Engine.spin_hint "ipis-posted";
+        while Engine.Cell.get ipis_posted = 0 do
+          Engine.pause ()
+        done;
+        Engine.cycles 100;
+        K.Slock.unlock lock;
+        if disciplined then ignore (Engine.set_spl old))
+  in
+  (* Processor 2: disables interrupts, then spins for the lock. *)
+  let p2 =
+    Engine.spawn ~name:"p2" ~bound:1 (fun () ->
+        Engine.spin_hint "p1-has-lock";
+        while Engine.Cell.get p1_has_lock = 0 do
+          Engine.pause ()
+        done;
+        let old = Engine.set_spl Spl.Splvm in
+        Engine.Cell.set p2_spinning 1;
+        K.Slock.lock lock;
+        Engine.cycles 50;
+        K.Slock.unlock lock;
+        ignore (Engine.set_spl old))
+  in
+  (* Processor 3: initiates barrier synchronization at interrupt level:
+     all involved processors must enter the service routine before any
+     can leave. *)
+  let p3 =
+    Engine.spawn ~name:"p3" ~bound:2 (fun () ->
+        Engine.spin_hint "p2-spinning";
+        while Engine.Cell.get p2_spinning = 0 do
+          Engine.pause ()
+        done;
+        let handler () =
+          ignore (Engine.Cell.fetch_and_add checked_in 1);
+          Engine.spin_hint "barrier-go";
+          while Engine.Cell.get barrier_go = 0 do
+            Engine.pause ()
+          done
+        in
+        Engine.post_interrupt ~name:"barrier" ~cpu:0 ~level:Spl.Splvm handler;
+        Engine.post_interrupt ~name:"barrier" ~cpu:1 ~level:Spl.Splvm handler;
+        Engine.Cell.set ipis_posted 1;
+        (* Wait for both processors to enter the barrier. *)
+        Engine.spin_hint "barrier-in";
+        while Engine.Cell.get checked_in < 2 do
+          Engine.pause ()
+        done;
+        Engine.Cell.set barrier_go 1)
+  in
+  Engine.join p1;
+  Engine.join p2;
+  Engine.join p3
+
+(* ------------------------------------------------------------------ *)
+(* Locking granularity                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type granularity = Coarse | Fine | Master_funnel
+
+let granularity_name = function
+  | Coarse -> "coarse"
+  | Fine -> "fine"
+  | Master_funnel -> "master-funnel"
+
+type sim_object = {
+  olock : K.Slock.t;
+  counter : Engine.Cell.t;
+}
+
+let operate obj =
+  (* An object operation: a shared-data update plus local work. *)
+  ignore (Engine.Cell.fetch_and_add obj.counter 1);
+  Engine.cycles 40
+
+let object_ops_workload granularity ~objects ~workers ~ops_per_worker =
+  let objs =
+    Array.init objects (fun i ->
+        {
+          olock = K.Slock.make ~name:(Printf.sprintf "obj%d" i) ();
+          counter = Engine.Cell.make ~name:(Printf.sprintf "ctr%d" i) 0;
+        })
+  in
+  match granularity with
+  | Coarse ->
+      (* One lock protects all of the code/data: kernel execution is
+         effectively restricted to one processor at a time. *)
+      let big_lock = K.Slock.make ~name:"kernel-lock" () in
+      let worker w () =
+        for i = 0 to ops_per_worker - 1 do
+          let obj = objs.((w + i) mod objects) in
+          K.Slock.lock big_lock;
+          operate obj;
+          K.Slock.unlock big_lock
+        done
+      in
+      let ts = List.init workers (fun w -> Engine.spawn (worker w)) in
+      List.iter Engine.join ts
+  | Fine ->
+      (* Locks are associated with data structures: code runs in parallel
+         with itself when different objects are involved (section 2). *)
+      let worker w () =
+        for i = 0 to ops_per_worker - 1 do
+          let obj = objs.((w + i) mod objects) in
+          K.Slock.lock obj.olock;
+          operate obj;
+          K.Slock.unlock obj.olock
+        done
+      in
+      let ts = List.init workers (fun w -> Engine.spawn (worker w)) in
+      List.iter Engine.join ts
+  | Master_funnel ->
+      (* A master processor executes every operation; other processors
+         hand their work over, sleep, and are awakened with the result
+         (the master-processor design the paper contrasts with,
+         section 2).  The handoff uses the canonical event-wait pattern
+         under a guard lock. *)
+      let guard = K.Slock.make ~name:"funnel-guard" () in
+      let req_ev = K.Ev.fresh_event () in
+      let done_ev = K.Ev.fresh_event () in
+      let slot_ev = K.Ev.fresh_event () in
+      let pending = ref None (* (worker, object index), under guard *) in
+      let completed = Array.make workers false (* under guard *) in
+      let remaining = ref (workers * ops_per_worker) (* under guard *) in
+      let master =
+        Engine.spawn ~name:"master" ~bound:0 (fun () ->
+            let continue = ref true in
+            while !continue do
+              K.Slock.lock guard;
+              match !pending with
+              | None ->
+                  if !remaining = 0 then begin
+                    continue := false;
+                    K.Slock.unlock guard
+                  end
+                  else ignore (K.Ev.thread_sleep req_ev guard)
+              | Some (w, idx) ->
+                  pending := None;
+                  K.Slock.unlock guard;
+                  operate objs.(idx);
+                  K.Slock.lock guard;
+                  remaining := !remaining - 1;
+                  completed.(w) <- true;
+                  ignore (K.Ev.thread_wakeup done_ev);
+                  ignore (K.Ev.thread_wakeup slot_ev);
+                  K.Slock.unlock guard
+            done)
+      in
+      let worker w () =
+        for i = 0 to ops_per_worker - 1 do
+          K.Slock.lock guard;
+          while !pending <> None do
+            ignore (K.Ev.thread_sleep slot_ev guard);
+            K.Slock.lock guard
+          done;
+          pending := Some (w, (w + i) mod objects);
+          ignore (K.Ev.thread_wakeup req_ev);
+          while not completed.(w) do
+            ignore (K.Ev.thread_sleep done_ev guard);
+            K.Slock.lock guard
+          done;
+          completed.(w) <- false;
+          K.Slock.unlock guard
+        done
+      in
+      let ts = List.init workers (fun w -> Engine.spawn (worker w)) in
+      List.iter Engine.join ts;
+      (* All work submitted and acknowledged; let the master observe
+         remaining = 0. *)
+      ignore (K.Ev.thread_wakeup req_ev);
+      Engine.join master
+
+(* ------------------------------------------------------------------ *)
+(* RPC null round-trip                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let null_rpc_workload kernel ~clients ~calls_each =
+  let client i () =
+    for _ = 1 to calls_each do
+      match Kernel.rpc_null kernel with
+      | Ok () -> ()
+      | Error e ->
+          Engine.fatal (Printf.sprintf "client %d: null rpc failed: %s" i e)
+    done
+  in
+  let ts =
+    List.init clients (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "client%d" i) (client i))
+  in
+  List.iter Engine.join ts

@@ -1,0 +1,41 @@
+(** Canonical multiprocessor scenarios from the paper, shared by the
+    tests, the examples and the benchmark harness. *)
+
+(** {1 The section 7 three-processor interrupt deadlock (experiment E11)}
+
+    Processor 1 holds a lock; processor 2 spins for it with interrupts
+    disabled; processor 3 initiates barrier synchronization at interrupt
+    level.  If interrupt protection is inconsistent — P1 holds the lock
+    with interrupts {e enabled} — P1 enters the barrier handler while
+    still holding the lock, P2 never takes its interrupt because it spins
+    with interrupts masked, and the system deadlocks.  Acquiring the lock
+    at the same interrupt priority on both processors (the section 7
+    rule) makes the deadlock impossible. *)
+
+val interrupt_barrier_scenario : disciplined:bool -> unit -> unit
+(** Run inside a simulation with at least 3 cpus.  With
+    [disciplined:false] the same-spl checking is disabled (the scenario
+    exists to show what the rule prevents) and some schedules deadlock;
+    with [disciplined:true] every schedule completes. *)
+
+(** {1 Locking granularity (experiments E3)} *)
+
+type granularity =
+  | Coarse       (** one lock protects every object (locking code) *)
+  | Fine         (** one lock per object (locking data, the Mach way) *)
+  | Master_funnel  (** all operations funnel to a master processor *)
+
+val granularity_name : granularity -> string
+
+val object_ops_workload :
+  granularity -> objects:int -> workers:int -> ops_per_worker:int -> unit
+(** Each worker performs [ops_per_worker] operations, each picking an
+    object (round-robin per worker), acquiring the relevant lock(s) and
+    updating the object (some local work plus shared-data updates).
+    Run inside a simulation; makespan is read from the run stats. *)
+
+(** {1 RPC null round-trip (experiment E9)} *)
+
+val null_rpc_workload : Kernel.t -> clients:int -> calls_each:int -> unit
+(** Spawn [clients] threads each performing [calls_each] null RPCs to the
+    kernel host port; joins them all. *)

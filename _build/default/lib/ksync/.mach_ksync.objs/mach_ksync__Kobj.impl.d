@@ -1,0 +1,1 @@
+lib/ksync/kobj.ml: Atomic Ksync Mach_core Printf

@@ -1,0 +1,1 @@
+lib/ksync/kobj.mli: Ksync Mach_core

@@ -1,0 +1,1 @@
+lib/ksync/ksync.ml: Mach_core Mach_sim

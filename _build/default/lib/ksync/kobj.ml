@@ -1,0 +1,66 @@
+type payload = ..
+type payload += No_payload
+
+type t = {
+  kname : string;
+  kuid : int;
+  klock : Ksync.Slock.t;
+  refs : Ksync.Ref.t;
+  active : Mach_core.Deactivate.t;
+  destroy : (t -> unit) option;
+  mutable payload : payload;
+}
+
+let uid_counter = Atomic.make 0
+
+let make ?name ?destroy payload =
+  let kuid = Atomic.fetch_and_add uid_counter 1 in
+  let kname =
+    match name with Some n -> n | None -> Printf.sprintf "kobj%d" kuid
+  in
+  {
+    kname;
+    kuid;
+    klock = Ksync.Slock.make ~name:(kname ^ ".lock") ();
+    refs = Ksync.Ref.make ~name:(kname ^ ".refs") ();
+    active = Mach_core.Deactivate.make ();
+    destroy;
+    payload;
+  }
+
+let name t = t.kname
+let uid t = t.kuid
+let lock t = Ksync.Slock.lock t.klock
+let unlock t = Ksync.Slock.unlock t.klock
+let try_lock t = Ksync.Slock.try_lock t.klock
+let with_lock t f = Ksync.Slock.with_lock t.klock f
+let object_lock t = t.klock
+let reference t = Ksync.Ref.clone t.refs
+
+let reference_under lock t =
+  if Ksync.Slock.checking () && not (Ksync.Slock.held_by_self lock) then
+    Ksync.Machine.fatal
+      (Printf.sprintf
+         "kobj %s: reference_under without holding the guaranteeing lock %s"
+         t.kname (Ksync.Slock.name lock));
+  Ksync.Ref.clone t.refs
+
+let reference_locked t = reference_under t.klock t
+
+let release t =
+  match Ksync.Ref.release t.refs with
+  | `Live -> ()
+  | `Last -> ( match t.destroy with Some d -> d t | None -> ())
+
+let ref_count t = Ksync.Ref.count t.refs
+let is_active t = Mach_core.Deactivate.is_active t.active
+
+let deactivate t =
+  if Ksync.Slock.checking () && not (Ksync.Slock.held_by_self t.klock) then
+    Ksync.Machine.fatal
+      (Printf.sprintf "kobj %s: deactivate without the object lock" t.kname);
+  Mach_core.Deactivate.deactivate t.active
+
+let check_active t = Mach_core.Deactivate.check t.active
+let payload t = t.payload
+let set_payload t p = t.payload <- p

@@ -1,0 +1,74 @@
+(** The kernel object base: the pattern every Mach kernel data structure
+    follows (paper, sections 3, 8, 9, 10).
+
+    A kernel object is a data structure with
+    - a simple lock protecting its state,
+    - a reference count governing the data structure's existence (the
+      object is created with one reference held by its creator),
+    - a deactivation flag for objects that are actively terminated, and
+    - a payload: the subsystem-specific state, attached through an
+      extensible variant so that ipc can point at objects of types defined
+      by later subsystems (task, thread, memory object, ...).
+
+    When the reference count reaches zero there are no operations in
+    progress, no pointers and no way to invoke new operations, so the
+    object is destroyed (its registered destructor runs). *)
+
+type payload = ..
+
+type payload += No_payload
+
+type t
+
+val make : ?name:string -> ?destroy:(t -> unit) -> payload -> t
+(** Create with a single reference to the creator.  [destroy] runs when
+    the last reference is released. *)
+
+val name : t -> string
+val uid : t -> int
+
+(** {1 Locking} *)
+
+val lock : t -> unit
+val unlock : t -> unit
+val try_lock : t -> bool
+val with_lock : t -> (unit -> 'a) -> 'a
+val object_lock : t -> Ksync.Slock.t
+(** The underlying simple lock (for [thread_sleep], gated counts...). *)
+
+(** {1 References} *)
+
+val reference : t -> unit
+(** Clone a reference the caller already holds (never blocks; legal while
+    holding locks). *)
+
+val reference_locked : t -> unit
+(** Clone under the object's own lock. *)
+
+val reference_under : Ksync.Slock.t -> t -> unit
+(** Clone a reference held in a data structure protected by [lock] — the
+    caller must hold that lock, which is what guarantees the source
+    reference cannot vanish during the clone (section 8; e.g. a port's
+    object pointer is cloned under the port lock). *)
+
+val release : t -> unit
+(** Drop a reference; on the last one the object is destroyed.  Subject to
+    the section 8 blocking-context rules. *)
+
+val ref_count : t -> int
+
+(** {1 Deactivation} *)
+
+val is_active : t -> bool
+(** Must be called with the object locked to be meaningful. *)
+
+val deactivate : t -> bool
+(** Mark deactivated (caller must hold the object lock); true when this
+    call made the transition. *)
+
+val check_active : t -> unit Mach_core.Deactivate.checked
+
+(** {1 Payload} *)
+
+val payload : t -> payload
+val set_payload : t -> payload -> unit

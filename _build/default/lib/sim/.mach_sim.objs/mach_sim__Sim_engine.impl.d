@@ -1,0 +1,1 @@
+lib/sim/sim_engine.ml: Array Atomic Buffer Effect Format Lazy List Mach_core Printexc Printf Sim_config Sim_rng Sim_trace String

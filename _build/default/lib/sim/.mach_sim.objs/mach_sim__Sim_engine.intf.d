@@ -1,0 +1,1 @@
+lib/sim/sim_engine.mli: Format Mach_core Sim_config Sim_trace

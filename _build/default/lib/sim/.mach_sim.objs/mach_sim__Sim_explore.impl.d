@@ -1,0 +1,1 @@
+lib/sim/sim_explore.ml: Format Fun List Sim_config Sim_engine

@@ -1,0 +1,1 @@
+lib/sim/sim_explore.mli: Format Sim_config

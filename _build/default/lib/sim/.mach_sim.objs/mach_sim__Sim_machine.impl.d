@@ -1,0 +1,1 @@
+lib/sim/sim_machine.ml: Sim_engine

@@ -1,0 +1,1 @@
+lib/sim/sim_rng.ml: Int64 List

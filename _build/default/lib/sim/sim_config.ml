@@ -1,0 +1,60 @@
+type policy = Random_policy | Round_robin | Timed
+
+let policy_name = function
+  | Random_policy -> "random"
+  | Round_robin -> "round-robin"
+  | Timed -> "timed"
+
+type t = {
+  cpus : int;
+  seed : int;
+  policy : policy;
+  read_hit_cost : int;
+  read_miss_cost : int;
+  write_cost : int;
+  atomic_cost : int;
+  bus_occupancy : int;
+  pause_cost : int;
+  local_cost : int;
+  context_switch_cost : int;
+  interrupt_cost : int;
+  preempt_on_cell_ops : bool;
+  watchdog_steps : int;
+  max_steps : int option;
+  trace : bool;
+  trace_capacity : int;
+}
+
+let default =
+  {
+    cpus = 4;
+    seed = 1;
+    policy = Timed;
+    read_hit_cost = 1;
+    read_miss_cost = 40;
+    write_cost = 20;
+    atomic_cost = 50;
+    bus_occupancy = 20;
+    pause_cost = 4;
+    local_cost = 1;
+    context_switch_cost = 300;
+    interrupt_cost = 150;
+    preempt_on_cell_ops = true;
+    watchdog_steps = 1_000_000;
+    max_steps = None;
+    trace = false;
+    trace_capacity = 65536;
+  }
+
+let exploration ?(cpus = 4) ~seed () =
+  {
+    default with
+    cpus;
+    seed;
+    policy = Random_policy;
+    preempt_on_cell_ops = true;
+    watchdog_steps = 200_000;
+  }
+
+let bench ?(cpus = 8) () =
+  { default with cpus; policy = Timed; preempt_on_cell_ops = true }

@@ -1,0 +1,52 @@
+(** Simulator configuration: machine size, scheduling policy and the cycle
+    cost model.
+
+    The cost model captures the quantities section 2 of the paper reasons
+    about: a spinning read that hits the processor cache is nearly free; a
+    cache miss or an atomic (interlocked) operation crosses the shared bus
+    and serializes against all other bus traffic.  Absolute values are
+    loosely calibrated to late-1980s shared-bus multiprocessors (Encore
+    Multimax class); only ratios matter for the experiment shapes. *)
+
+type policy =
+  | Random_policy   (** pick uniformly among advanceable cpus (exploration) *)
+  | Round_robin     (** cycle through cpus (exploration, deterministic) *)
+  | Timed           (** advance the cpu with the smallest clock (cost model) *)
+
+val policy_name : policy -> string
+
+type t = {
+  cpus : int;               (** number of virtual processors *)
+  seed : int;               (** scheduling seed *)
+  policy : policy;
+  read_hit_cost : int;      (** cached read *)
+  read_miss_cost : int;     (** read that misses and crosses the bus *)
+  write_cost : int;         (** write (invalidates other caches) *)
+  atomic_cost : int;        (** interlocked operation (test-and-set etc.) *)
+  bus_occupancy : int;      (** bus cycles a miss/atomic keeps the bus busy *)
+  pause_cost : int;         (** one spin-loop iteration's local work *)
+  local_cost : int;         (** generic local work unit *)
+  context_switch_cost : int;
+  interrupt_cost : int;     (** dispatch overhead of taking an interrupt *)
+  preempt_on_cell_ops : bool;
+      (** make every shared-cell operation a preemption point (finest
+          interleaving granularity; on for exploration) *)
+  watchdog_steps : int;
+      (** scheduler steps without productive work before declaring a
+          spin deadlock / livelock *)
+  max_steps : int option;   (** hard step bound, None = unbounded *)
+  trace : bool;             (** record an event trace *)
+  trace_capacity : int;
+}
+
+val default : t
+(** 4 cpus, seed 1, [Timed], the calibrated cost table, checking-friendly
+    watchdog. *)
+
+val exploration : ?cpus:int -> seed:int -> unit -> t
+(** Random policy with per-cell preemption: the configuration used by the
+    schedule-exploration tests. *)
+
+val bench : ?cpus:int -> unit -> t
+(** Timed policy without per-cell preemption pauses beyond spin loops:
+    the configuration used by the cycle-model benchmarks. *)

@@ -1,0 +1,856 @@
+module Spl = Mach_core.Spl
+
+type deadlock_kind = Sleep_deadlock | Spin_deadlock
+
+exception Kernel_panic of string
+exception Deadlock of deadlock_kind * string
+exception Step_limit
+
+type tstate = Runnable | Parked | Dead
+
+type cont = (unit, unit) Effect.Deep.continuation
+
+type thread = {
+  tid : int;
+  tname : string;
+  mutable state : tstate;
+  mutable permits : int;
+  mutable cont : cont option;
+  mutable start : (unit -> unit) option;
+  mutable tls : int array;
+  mutable saved_spl : Spl.t;
+  mutable bound : int option;
+  mutable ready_clock : int;
+  mutable hint : string option;
+  mutable joiners : thread list;
+  mutable on_cpu : int; (* -1 when not on a cpu *)
+}
+
+type intr = {
+  iname : string;
+  ilevel : Spl.t;
+  mutable ihandler : (unit -> unit) option;
+  mutable icont : cont option;
+  mutable isaved_spl : Spl.t;
+  mutable ihint : string option;
+}
+
+type frame = Fthread of thread | Fintr of intr
+
+type cpu = {
+  idx : int;
+  mutable clock : int;
+  mutable spl : Spl.t;
+  mutable frames : frame list; (* top first; thread frame at the bottom *)
+  mutable pending : intr list; (* queued interrupts, FIFO per level *)
+}
+
+type mstats = {
+  mutable m_steps : int;
+  mutable m_bus : int;
+  mutable m_misses : int;
+  mutable m_atomics : int;
+  mutable m_intrs : int;
+  mutable m_switches : int;
+  mutable m_spawned : int;
+  mutable m_parks : int;
+  mutable m_unparks : int;
+  mutable m_spin_pauses : int;
+}
+
+type stats = {
+  steps : int;
+  makespan : int;
+  bus_transactions : int;
+  cache_misses : int;
+  atomic_ops : int;
+  interrupts_delivered : int;
+  context_switches : int;
+  spawned_threads : int;
+  parks : int;
+  unparks : int;
+  spin_pauses : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "steps=%d makespan=%d bus=%d misses=%d atomics=%d intrs=%d switches=%d \
+     spawned=%d parks=%d unparks=%d spin-pauses=%d"
+    s.steps s.makespan s.bus_transactions s.cache_misses s.atomic_ops
+    s.interrupts_delivered s.context_switches s.spawned_threads s.parks
+    s.unparks s.spin_pauses
+
+type engine = {
+  cfg : Sim_config.t;
+  rng : Sim_rng.t;
+  cpus : cpu array;
+  mutable runq : thread list;
+  mutable threads : thread list; (* every thread ever spawned, for reports *)
+  mutable live : int;
+  mutable stale : int; (* steps since the last productive operation *)
+  mutable bus_free_at : int;
+  trace : Sim_trace.t;
+  st : mstats;
+  mutable cur : (cpu * frame) option;
+  mutable rr_next : int;
+  idle_identity : thread array; (* self() for interrupts on idle cpus *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Globals: the engine singleton, cross-run identifiers, the identity  *)
+(* used when core code runs outside any simulation.                    *)
+(* ------------------------------------------------------------------ *)
+
+let the_engine : engine option ref = ref None
+let tid_counter = Atomic.make 1000 (* distinct from native machine tids *)
+
+let make_thread ?(bound = None) tname =
+  {
+    tid = Atomic.fetch_and_add tid_counter 1;
+    tname;
+    state = Runnable;
+    permits = 0;
+    cont = None;
+    start = None;
+    tls = Array.make 8 0;
+    saved_spl = Spl.Spl0;
+    bound;
+    ready_clock = 0;
+    hint = None;
+    joiners = [];
+    on_cpu = -1;
+  }
+
+let external_identity = lazy (make_thread "external")
+let last_run_stats : stats option ref = ref None
+let last_run_trace : Sim_trace.event list ref = ref []
+
+let running () = !the_engine <> None
+
+let eng_exn () =
+  match !the_engine with
+  | Some e -> e
+  | None -> raise (Kernel_panic "no simulation is running")
+
+let fatal msg = raise (Kernel_panic msg)
+
+(* The currently-executing (cpu, frame), if a fiber is running. *)
+let ctx () = match !the_engine with None -> None | Some e -> e.cur
+
+let frame_name = function
+  | Fthread t -> t.tname
+  | Fintr i -> "intr:" ^ i.iname
+
+let self () =
+  match ctx () with
+  | None -> Lazy.force external_identity
+  | Some (c, Fthread t) ->
+      ignore c;
+      t
+  | Some (c, Fintr _) -> (
+      (* Interrupt context: the current thread is the interrupted thread;
+         on an idle cpu, a per-cpu identity stands in (Mach's idle
+         thread). *)
+      let rec bottom = function
+        | [ Fthread t ] -> Some t
+        | _ :: rest -> bottom rest
+        | [] -> None
+      in
+      match bottom c.frames with
+      | Some t -> t
+      | None -> (
+          match !the_engine with
+          | Some e -> e.idle_identity.(c.idx)
+          | None -> Lazy.force external_identity))
+
+let thread_id t = t.tid
+let thread_name t = t.tname
+let equal_thread a b = a.tid == b.tid
+let is_dead t = t.state = Dead
+
+let tls_get t ~key = if key < Array.length t.tls then t.tls.(key) else 0
+
+let tls_set t ~key v =
+  if key >= Array.length t.tls then begin
+    let bigger = Array.make (max (key + 1) (2 * Array.length t.tls)) 0 in
+    Array.blit t.tls 0 bigger 0 (Array.length t.tls);
+    t.tls <- bigger
+  end;
+  t.tls.(key) <- v
+
+let in_interrupt () =
+  match ctx () with Some (_, Fintr _) -> true | _ -> false
+
+let productive e = e.stale <- 0
+
+let trace tag detail =
+  match !the_engine with
+  | Some e when Sim_trace.enabled e.trace ->
+      let step = e.st.m_steps in
+      let cpu, context, clock =
+        match e.cur with
+        | Some (c, f) -> (c.idx, frame_name f, c.clock)
+        | None -> (-1, "sched", 0)
+      in
+      Sim_trace.record e.trace { step; clock; cpu; context; tag; detail }
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Effects                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t += Pause_eff : unit Effect.t | Park_eff : unit Effect.t
+
+let charge e n =
+  match e.cur with Some (c, _) -> c.clock <- c.clock + n | None -> ()
+
+let pause () =
+  match !the_engine with
+  | None -> ()
+  | Some e -> (
+      match e.cur with
+      | None -> ()
+      | Some _ ->
+          charge e e.cfg.pause_cost;
+          Effect.perform Pause_eff)
+
+let cycles n =
+  match !the_engine with None -> () | Some e -> charge e n
+
+let now_cycles () =
+  match ctx () with Some (c, _) -> c.clock | None -> 0
+
+let current_cpu () = match ctx () with Some (c, _) -> c.idx | None -> 0
+
+let cpu_count () =
+  match !the_engine with Some e -> e.cfg.cpus | None -> 1
+
+let set_spl level =
+  match ctx () with
+  | Some (c, _) ->
+      let old = c.spl in
+      c.spl <- level;
+      trace "spl" (Spl.to_string level);
+      old
+  | None ->
+      let t = Lazy.force external_identity in
+      let old = t.saved_spl in
+      t.saved_spl <- level;
+      old
+
+let get_spl () =
+  match ctx () with
+  | Some (c, _) -> c.spl
+  | None -> (Lazy.force external_identity).saved_spl
+
+let spin_hint s =
+  match ctx () with
+  | Some (_, Fthread t) -> t.hint <- Some s
+  | Some (_, Fintr i) -> i.ihint <- Some s
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Shared cells with a cache and bus cost model                         *)
+(* ------------------------------------------------------------------ *)
+
+let max_cpus = 64
+
+module Cell = struct
+  type t = {
+    cname : string;
+    mutable v : int;
+    mutable version : int;
+    cached : int array; (* per-cpu version last observed; -1 = invalid *)
+  }
+
+  let make ?(name = "cell") v =
+    { cname = name; v; version = 0; cached = Array.make max_cpus (-1) }
+
+  let name t = t.cname
+
+  (* Bus access: serialize on the global bus and charge [cost]. *)
+  let bus_access e c cost =
+    let start = max c.clock e.bus_free_at in
+    c.clock <- start + cost;
+    e.bus_free_at <- start + e.cfg.bus_occupancy;
+    e.st.m_bus <- e.st.m_bus + 1
+
+  let invalidate t writer_cpu =
+    t.version <- t.version + 1;
+    Array.fill t.cached 0 max_cpus (-1);
+    if writer_cpu >= 0 then t.cached.(writer_cpu) <- t.version
+
+  let maybe_preempt e =
+    if e.cfg.preempt_on_cell_ops && e.cur <> None then
+      Effect.perform Pause_eff
+
+  let get t =
+    match !the_engine with
+    | None -> t.v
+    | Some e -> (
+        match e.cur with
+        | None -> t.v
+        | Some (c, _) ->
+            if t.cached.(c.idx) = t.version then
+              c.clock <- c.clock + e.cfg.read_hit_cost
+            else begin
+              bus_access e c e.cfg.read_miss_cost;
+              e.st.m_misses <- e.st.m_misses + 1;
+              t.cached.(c.idx) <- t.version
+            end;
+            let v = t.v in
+            maybe_preempt e;
+            v)
+
+  let set t v =
+    (match !the_engine with
+    | None -> t.v <- v
+    | Some e -> (
+        match e.cur with
+        | None -> t.v <- v
+        | Some (c, _) ->
+            bus_access e c e.cfg.write_cost;
+            t.v <- v;
+            invalidate t c.idx;
+            productive e;
+            trace "set" (Printf.sprintf "%s=%d" t.cname v);
+            maybe_preempt e));
+    ()
+
+  (* [stores old] tells whether the instruction performs its store even
+     when the value is unchanged: test-and-set always writes (this is
+     precisely the bus-bandwidth waste of spinning on it, section 2),
+     while a failed compare-and-swap does not take the line exclusive.
+     Only an actual value change counts as progress for the watchdog. *)
+  let atomic_op t ~stores f =
+    match !the_engine with
+    | None ->
+        let old = t.v in
+        t.v <- f old;
+        old
+    | Some e -> (
+        match e.cur with
+        | None ->
+            let old = t.v in
+            t.v <- f old;
+            old
+        | Some (c, _) ->
+            bus_access e c e.cfg.atomic_cost;
+            e.st.m_atomics <- e.st.m_atomics + 1;
+            let old = t.v in
+            let nv = f old in
+            t.v <- nv;
+            if stores old then invalidate t c.idx
+            else t.cached.(c.idx) <- t.version;
+            if nv <> old then productive e;
+            maybe_preempt e;
+            old)
+
+  let test_and_set t =
+    let old = atomic_op t ~stores:(fun _ -> true) (fun _ -> 1) in
+    trace "tas" (Printf.sprintf "%s old=%d" t.cname old);
+    old
+
+  let compare_and_swap t ~expected ~desired =
+    let old =
+      atomic_op t
+        ~stores:(fun old -> old = expected)
+        (fun v -> if v = expected then desired else v)
+    in
+    old = expected
+
+  let fetch_and_add t n =
+    atomic_op t ~stores:(fun _ -> true) (fun v -> v + n)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Threads                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let thread_counter_per_run = ref 0
+
+let spawn ?name ?bound f =
+  let e = eng_exn () in
+  incr thread_counter_per_run;
+  let tname =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "thread%d" !thread_counter_per_run
+  in
+  let t = make_thread ~bound tname in
+  t.start <- Some f;
+  t.ready_clock <- (match e.cur with Some (c, _) -> c.clock | None -> 0);
+  e.runq <- e.runq @ [ t ];
+  e.threads <- t :: e.threads;
+  e.live <- e.live + 1;
+  e.st.m_spawned <- e.st.m_spawned + 1;
+  productive e;
+  trace "spawn" tname;
+  t
+
+let unpark t =
+  match !the_engine with
+  | None -> () (* outside simulation: nothing can be parked *)
+  | Some e -> (
+      match t.state with
+      | Parked ->
+          t.state <- Runnable;
+          t.ready_clock <-
+            (match e.cur with Some (c, _) -> c.clock | None -> 0);
+          e.runq <- e.runq @ [ t ];
+          e.st.m_unparks <- e.st.m_unparks + 1;
+          productive e;
+          trace "unpark" t.tname
+      | Runnable ->
+          t.permits <- t.permits + 1;
+          productive e;
+          trace "permit" t.tname
+      | Dead -> ())
+
+let park () =
+  let e = eng_exn () in
+  (match e.cur with
+  | None -> fatal "park outside a simulated thread"
+  | Some (_, Fintr i) ->
+      fatal
+        (Printf.sprintf
+           "park in interrupt handler %s: interrupt routines lack the \
+            thread context required to sleep (paper, section 7)"
+           i.iname)
+  | Some (_, Fthread _) -> ());
+  let t = self () in
+  if t.permits > 0 then begin
+    t.permits <- t.permits - 1;
+    (* Still a schedule point, so wakeup-before-block schedules explore
+       the same interleavings as real blocking. *)
+    Effect.perform Pause_eff
+  end
+  else begin
+    e.st.m_parks <- e.st.m_parks + 1;
+    productive e;
+    trace "park" t.tname;
+    Effect.perform Park_eff
+  end
+
+let join target =
+  let t = self () in
+  if equal_thread t target then fatal "join on self";
+  if target.state <> Dead then begin
+    target.joiners <- t :: target.joiners;
+    while target.state <> Dead do
+      park ()
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Interrupts                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let post_interrupt ?(name = "ipi") ~cpu ~level handler =
+  let e = eng_exn () in
+  if cpu < 0 || cpu >= e.cfg.cpus then
+    fatal (Printf.sprintf "post_interrupt: no cpu %d" cpu);
+  let i =
+    {
+      iname = name;
+      ilevel = level;
+      ihandler = Some handler;
+      icont = None;
+      isaved_spl = Spl.Spl0;
+      ihint = None;
+    }
+  in
+  let c = e.cpus.(cpu) in
+  c.pending <- c.pending @ [ i ];
+  productive e;
+  trace "post-intr" (Printf.sprintf "%s -> cpu%d at %s" name cpu
+                       (Spl.to_string level))
+
+let pending_interrupts ~cpu =
+  let e = eng_exn () in
+  List.length e.cpus.(cpu).pending
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let deliverable c =
+  List.exists (fun i -> not (Spl.masks ~at:c.spl i.ilevel)) c.pending
+
+let dispatchable e c =
+  List.exists
+    (fun t -> match t.bound with None -> true | Some b -> b = c.idx)
+    e.runq
+
+type action = Deliver | Resume | Dispatch
+
+let cpu_action e c =
+  if deliverable c then Some Deliver
+  else
+    match c.frames with
+    | _ :: _ -> Some Resume
+    | [] -> if dispatchable e c then Some Dispatch else None
+
+let finish_frame e (c : cpu) (f : frame) =
+  (match c.frames with
+  | top :: rest when top == f -> c.frames <- rest
+  | _ -> fatal "internal: finishing a frame that is not on top");
+  productive e;
+  match f with
+  | Fthread t ->
+      t.state <- Dead;
+      t.on_cpu <- -1;
+      e.live <- e.live - 1;
+      c.spl <- Spl.Spl0;
+      trace "exit" t.tname;
+      List.iter unpark t.joiners;
+      t.joiners <- []
+  | Fintr i ->
+      c.spl <- i.isaved_spl;
+      trace "intr-done" i.iname
+
+(* The handler closures must find the *current* cpu and frame at effect
+   time (from [e.cur], which [resume] maintains): a thread that parks and
+   is later dispatched again may be running on a different cpu than the
+   one it started on, while the handler installed by [match_with] stays
+   the same for the fiber's whole life. *)
+let run_fiber e (body : unit -> unit) =
+  let open Effect.Deep in
+  let cur () =
+    match e.cur with
+    | Some cf -> cf
+    | None -> fatal "internal: fiber effect with no current frame"
+  in
+  match_with body ()
+    {
+      retc =
+        (fun () ->
+          let c, f = cur () in
+          finish_frame e c f);
+      exnc =
+        (fun exn ->
+          (* A fiber exception is a kernel panic: annotate and propagate
+             out of the scheduler. *)
+          let c, f = cur () in
+          match exn with
+          | Kernel_panic msg ->
+              raise
+                (Kernel_panic
+                   (Printf.sprintf "[cpu%d %s] %s" c.idx (frame_name f) msg))
+          | exn ->
+              raise
+                (Kernel_panic
+                   (Printf.sprintf "[cpu%d %s] unhandled exception: %s"
+                      c.idx (frame_name f) (Printexc.to_string exn))));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Pause_eff ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  (* Stay on the cpu, suspended at a preemption point. *)
+                  match cur () with
+                  | _, Fthread t -> t.cont <- Some k
+                  | _, Fintr i -> i.icont <- Some k)
+          | Park_eff ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  match cur () with
+                  | c, (Fthread t as f) ->
+                      t.cont <- Some k;
+                      t.state <- Parked;
+                      t.saved_spl <- c.spl;
+                      t.on_cpu <- -1;
+                      (match c.frames with
+                      | top :: rest when top == f -> c.frames <- rest
+                      | _ -> fatal "internal: parking a non-top frame");
+                      c.spl <- Spl.Spl0
+                  | _, Fintr _ -> fatal "internal: park effect in interrupt")
+          | _ -> None);
+    }
+
+let resume e c =
+  match c.frames with
+  | [] -> fatal "internal: resume on idle cpu"
+  | f :: _ -> (
+      e.cur <- Some (c, f);
+      (match f with
+      | Fthread t -> (
+          match (t.start, t.cont) with
+          | Some body, _ ->
+              t.start <- None;
+              run_fiber e body
+          | None, Some k ->
+              t.cont <- None;
+              Effect.Deep.continue k ()
+          | None, None -> fatal "internal: thread frame with no continuation")
+      | Fintr i -> (
+          match (i.ihandler, i.icont) with
+          | Some body, _ ->
+              i.ihandler <- None;
+              run_fiber e body
+          | None, Some k ->
+              i.icont <- None;
+              Effect.Deep.continue k ()
+          | None, None -> fatal "internal: interrupt frame w/o continuation"));
+      e.cur <- None)
+
+let deliver e c =
+  (* Highest-priority deliverable interrupt first. *)
+  let best =
+    List.fold_left
+      (fun acc i ->
+        if Spl.masks ~at:c.spl i.ilevel then acc
+        else
+          match acc with
+          | Some b when Spl.rank b.ilevel >= Spl.rank i.ilevel -> acc
+          | _ -> Some i)
+      None c.pending
+  in
+  match best with
+  | None -> fatal "internal: deliver with nothing deliverable"
+  | Some i ->
+      c.pending <- List.filter (fun i' -> i' != i) c.pending;
+      i.isaved_spl <- c.spl;
+      c.spl <- i.ilevel;
+      c.frames <- Fintr i :: c.frames;
+      c.clock <- c.clock + e.cfg.interrupt_cost;
+      e.st.m_intrs <- e.st.m_intrs + 1;
+      productive e;
+      e.cur <- Some (c, Fintr i);
+      trace "intr" (Printf.sprintf "%s at %s" i.iname (Spl.to_string i.ilevel));
+      e.cur <- None
+
+let dispatch e c =
+  let rec take acc = function
+    | [] -> None
+    | t :: rest -> (
+        match t.bound with
+        | Some b when b <> c.idx -> take (t :: acc) rest
+        | _ -> Some (t, List.rev_append acc rest))
+  in
+  match take [] e.runq with
+  | None -> fatal "internal: dispatch with empty run queue"
+  | Some (t, rest) ->
+      e.runq <- rest;
+      t.on_cpu <- c.idx;
+      c.clock <- max c.clock t.ready_clock + e.cfg.context_switch_cost;
+      c.spl <- t.saved_spl;
+      c.frames <- [ Fthread t ];
+      e.st.m_switches <- e.st.m_switches + 1;
+      productive e;
+      trace "dispatch" (Printf.sprintf "%s on cpu%d" t.tname c.idx)
+
+let all_threads_report e =
+  let buf = Buffer.create 256 in
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "  cpu%d clock=%d spl=%s frames=[%s] pending=%d\n"
+           c.idx c.clock (Spl.to_string c.spl)
+           (String.concat "; "
+              (List.map
+                 (fun f ->
+                   let hint =
+                     match f with
+                     | Fthread t -> t.hint
+                     | Fintr i -> i.ihint
+                   in
+                   frame_name f
+                   ^ match hint with
+                     | Some h -> " (spinning on " ^ h ^ ")"
+                     | None -> "")
+                 c.frames))
+           (List.length c.pending)))
+    e.cpus;
+  Buffer.add_string buf
+    (Printf.sprintf "  runq=[%s]\n"
+       (String.concat "; " (List.map (fun t -> t.tname) e.runq)));
+  let parked = List.filter (fun t -> t.state = Parked) e.threads in
+  Buffer.add_string buf
+    (Printf.sprintf "  parked=[%s]\n"
+       (String.concat "; "
+          (List.map
+             (fun t ->
+               t.tname
+               ^ match t.hint with Some h -> " (last spin: " ^ h ^ ")" | None -> "")
+             parked)));
+  Buffer.contents buf
+
+let mkstats e =
+  {
+    steps = e.st.m_steps;
+    makespan = Array.fold_left (fun acc c -> max acc c.clock) 0 e.cpus;
+    bus_transactions = e.st.m_bus;
+    cache_misses = e.st.m_misses;
+    atomic_ops = e.st.m_atomics;
+    interrupts_delivered = e.st.m_intrs;
+    context_switches = e.st.m_switches;
+    spawned_threads = e.st.m_spawned;
+    parks = e.st.m_parks;
+    unparks = e.st.m_unparks;
+    spin_pauses = e.st.m_spin_pauses;
+  }
+
+let pick_cpu e candidates =
+  match e.cfg.policy with
+  | Sim_config.Random_policy ->
+      List.nth candidates (Sim_rng.int e.rng (List.length candidates))
+  | Sim_config.Round_robin ->
+      let n = Array.length e.cpus in
+      let rec scan k =
+        let idx = (e.rr_next + k) mod n in
+        match List.find_opt (fun (c, _) -> c.idx = idx) candidates with
+        | Some choice ->
+            e.rr_next <- (idx + 1) mod n;
+            choice
+        | None -> scan (k + 1)
+      in
+      scan 0
+  | Sim_config.Timed ->
+      (* Advance the least-advanced cpu, but choose randomly among cpus
+         within a small clock window of the minimum: without this jitter,
+         two contenders can phase-lock into a deterministic cycle where
+         one always samples a lock while the other holds it (a livelock
+         real machines escape through timing noise). *)
+      let minimum =
+        List.fold_left (fun acc (c, _) -> min acc c.clock) max_int candidates
+      in
+      let window = (2 * e.cfg.atomic_cost) + (2 * e.cfg.bus_occupancy) in
+      let near =
+        List.filter (fun (c, _) -> c.clock <= minimum + window) candidates
+      in
+      List.nth near (Sim_rng.int e.rng (List.length near))
+
+let sched_loop e =
+  let watchdog_fired () =
+    let report =
+      "no productive operation for "
+      ^ string_of_int e.cfg.watchdog_steps
+      ^ " steps; machine state:\n" ^ all_threads_report e
+    in
+    raise (Deadlock (Spin_deadlock, report))
+  in
+  let rec loop () =
+    if e.live = 0 then mkstats e
+    else begin
+      (match e.cfg.max_steps with
+      | Some limit when e.st.m_steps >= limit -> raise Step_limit
+      | _ -> ());
+      if e.stale > e.cfg.watchdog_steps then watchdog_fired ();
+      let candidates =
+        Array.fold_right
+          (fun c acc ->
+            match cpu_action e c with
+            | Some a -> (c, a) :: acc
+            | None -> acc)
+          e.cpus []
+      in
+      match candidates with
+      | [] ->
+          let report =
+            "all cpus idle, run queue empty, but "
+            ^ string_of_int e.live
+            ^ " thread(s) still parked; machine state:\n"
+            ^ all_threads_report e
+          in
+          raise (Deadlock (Sleep_deadlock, report))
+      | _ ->
+          e.st.m_steps <- e.st.m_steps + 1;
+          e.stale <- e.stale + 1;
+          let c, a = pick_cpu e candidates in
+          (match a with
+          | Deliver -> deliver e c
+          | Resume -> resume e c
+          | Dispatch -> dispatch e c);
+          loop ()
+    end
+  in
+  loop ()
+
+let run ?(cfg = Sim_config.default) main =
+  if !the_engine <> None then
+    invalid_arg "Sim_engine.run: a simulation is already running";
+  if cfg.cpus < 1 || cfg.cpus > max_cpus then
+    invalid_arg "Sim_engine.run: cpu count out of range";
+  let e =
+    {
+      cfg;
+      rng = Sim_rng.make cfg.seed;
+      cpus =
+        Array.init cfg.cpus (fun idx ->
+            { idx; clock = 0; spl = Spl.Spl0; frames = []; pending = [] });
+      runq = [];
+      threads = [];
+      live = 0;
+      stale = 0;
+      bus_free_at = 0;
+      trace = Sim_trace.make ~capacity:cfg.trace_capacity ~enabled:cfg.trace;
+      st =
+        {
+          m_steps = 0;
+          m_bus = 0;
+          m_misses = 0;
+          m_atomics = 0;
+          m_intrs = 0;
+          m_switches = 0;
+          m_spawned = 0;
+          m_parks = 0;
+          m_unparks = 0;
+          m_spin_pauses = 0;
+        };
+      cur = None;
+      rr_next = 0;
+      idle_identity =
+        Array.init cfg.cpus (fun i ->
+            make_thread (Printf.sprintf "cpu%d-idle" i));
+    }
+  in
+  thread_counter_per_run := 0;
+  the_engine := Some e;
+  let finish () =
+    last_run_trace := Sim_trace.events e.trace;
+    the_engine := None
+  in
+  match
+    ignore (spawn ~name:"main" main);
+    sched_loop e
+  with
+  | stats ->
+      last_run_stats := Some stats;
+      finish ();
+      stats
+  | exception exn ->
+      last_run_stats := Some (mkstats e);
+      finish ();
+      raise exn
+
+type outcome =
+  | Completed of stats
+  | Deadlocked of deadlock_kind * string
+  | Panicked of string
+  | Hit_step_limit
+
+let run_outcome ?cfg main =
+  match run ?cfg main with
+  | stats -> Completed stats
+  | exception Deadlock (k, r) -> Deadlocked (k, r)
+  | exception Kernel_panic msg -> Panicked msg
+  | exception Step_limit -> Hit_step_limit
+
+let trace_events () =
+  match !the_engine with
+  | Some e -> Sim_trace.events e.trace
+  | None -> !last_run_trace
+
+let last_stats () = !last_run_stats
+
+let live_threads () =
+  match !the_engine with Some e -> e.live | None -> 0
+
+(* spin pauses are counted where the machine layer calls [pause]; expose a
+   hook for Sim_machine. *)
+let count_spin_pause () =
+  match !the_engine with
+  | Some e -> e.st.m_spin_pauses <- e.st.m_spin_pauses + 1
+  | None -> ()

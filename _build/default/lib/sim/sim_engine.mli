@@ -1,0 +1,138 @@
+(** The simulated multiprocessor.
+
+    A single OS thread runs a deterministic scheduler over effect-handler
+    fibers.  Each virtual cpu executes a stack of contexts: at the bottom a
+    kernel thread, above it nested interrupt handlers.  Fibers run native
+    OCaml code between {e preemption points} (spin pauses and shared-cell
+    operations); at each point the scheduler may switch to another cpu,
+    deliver a pending interrupt whose priority exceeds the cpu's current
+    spl, or context-switch a parked thread off the cpu.  A seeded policy
+    chooses among cpus, so a (seed, config) pair fully determines the run.
+
+    Shared-memory cells carry a MESI-like cache model and serialize their
+    misses and interlocked operations on a global bus, reproducing the
+    cache behaviour section 2 of the paper reasons about.
+
+    The engine detects both deadlock flavours the paper's design rules
+    exist to prevent: {e sleep deadlocks} (every thread parked, nothing
+    runnable) and {e spin deadlocks / livelocks} (a progress watchdog: no
+    productive operation for a configurable number of steps). *)
+
+type thread
+
+type deadlock_kind = Sleep_deadlock | Spin_deadlock
+
+exception Kernel_panic of string
+exception Deadlock of deadlock_kind * string
+exception Step_limit
+
+type stats = {
+  steps : int;
+  makespan : int;          (** max cpu cycle clock at completion *)
+  bus_transactions : int;
+  cache_misses : int;
+  atomic_ops : int;
+  interrupts_delivered : int;
+  context_switches : int;
+  spawned_threads : int;
+  parks : int;
+  unparks : int;
+  spin_pauses : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Running} *)
+
+val run : ?cfg:Sim_config.t -> (unit -> unit) -> stats
+(** Boot the machine, run [main] as the first thread, schedule until every
+    thread has finished.  @raise Deadlock, @raise Kernel_panic,
+    @raise Step_limit. *)
+
+type outcome =
+  | Completed of stats
+  | Deadlocked of deadlock_kind * string
+  | Panicked of string
+  | Hit_step_limit
+
+val run_outcome : ?cfg:Sim_config.t -> (unit -> unit) -> outcome
+(** Like {!run} but captures the engine's own failure modes as data
+    (other exceptions still propagate). *)
+
+val running : unit -> bool
+(** True between boot and completion of {!run} (i.e. inside a fiber or the
+    scheduler). *)
+
+(** {1 Threads} *)
+
+val spawn : ?name:string -> ?bound:int -> (unit -> unit) -> thread
+(** Create a runnable thread; [bound] pins it to one cpu. *)
+
+val join : thread -> unit
+val self : unit -> thread
+val thread_id : thread -> int
+val thread_name : thread -> string
+val equal_thread : thread -> thread -> bool
+val is_dead : thread -> bool
+
+val park : unit -> unit
+(** Block the current thread (permit semantics).  Fatal in interrupt
+    context or outside the simulator. *)
+
+val unpark : thread -> unit
+
+val tls_get : thread -> key:int -> int
+val tls_set : thread -> key:int -> int -> unit
+
+(** {1 Preemption, time, spl} *)
+
+val pause : unit -> unit
+(** Preemption point; charges the configured pause cost. *)
+
+val cycles : int -> unit
+val now_cycles : unit -> int
+val current_cpu : unit -> int
+val cpu_count : unit -> int
+val in_interrupt : unit -> bool
+val set_spl : Mach_core.Spl.t -> Mach_core.Spl.t
+val get_spl : unit -> Mach_core.Spl.t
+val spin_hint : string -> unit
+val fatal : string -> 'a
+
+(** {1 Interrupts} *)
+
+val post_interrupt :
+  ?name:string -> cpu:int -> level:Mach_core.Spl.t -> (unit -> unit) -> unit
+(** Queue an interrupt for [cpu]; it is delivered at the cpu's next
+    preemption point once its spl admits [level].  The handler runs as a
+    nested context on that cpu and may spin on locks (other cpus keep
+    running meanwhile) but must not block. *)
+
+val pending_interrupts : cpu:int -> int
+
+(** {1 Shared cells (used by Sim_machine.Cell)} *)
+
+module Cell : sig
+  type t
+
+  val make : ?name:string -> int -> t
+  val get : t -> int
+  val set : t -> int -> unit
+  val test_and_set : t -> int
+  val compare_and_swap : t -> expected:int -> desired:int -> bool
+  val fetch_and_add : t -> int -> int
+  val name : t -> string
+end
+
+(** {1 Introspection} *)
+
+val trace_events : unit -> Sim_trace.event list
+(** Events of the current (or most recent) run, when tracing is enabled. *)
+
+val last_stats : unit -> stats option
+(** Stats of the most recently completed run. *)
+
+val live_threads : unit -> int
+
+val count_spin_pause : unit -> unit
+(** Statistics hook used by [Sim_machine.spin_pause]. *)

@@ -1,0 +1,70 @@
+type verdict = {
+  seeds_run : int;
+  completed : int;
+  sleep_deadlocks : int;
+  spin_deadlocks : int;
+  panics : int;
+  step_limits : int;
+  failures : (int * string) list;
+}
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "seeds=%d completed=%d sleep-deadlocks=%d spin-deadlocks=%d panics=%d \
+     step-limits=%d"
+    v.seeds_run v.completed v.sleep_deadlocks v.spin_deadlocks v.panics
+    v.step_limits
+
+let default_seeds = List.init 100 (fun i -> i + 1)
+
+let run ?(cpus = 4) ?policy ?(seeds = default_seeds) ?(tweak = Fun.id)
+    scenario =
+  let outcome_of seed =
+    let cfg = Sim_config.exploration ~cpus ~seed () in
+    let cfg =
+      match policy with Some p -> { cfg with Sim_config.policy = p } | None -> cfg
+    in
+    Sim_engine.run_outcome ~cfg:(tweak cfg) scenario
+  in
+  List.fold_left
+    (fun v seed ->
+      let add_failure report v =
+        if List.length v.failures >= 16 then v
+        else { v with failures = (seed, report) :: v.failures }
+      in
+      let v = { v with seeds_run = v.seeds_run + 1 } in
+      match outcome_of seed with
+      | Sim_engine.Completed _ -> { v with completed = v.completed + 1 }
+      | Sim_engine.Deadlocked (Sim_engine.Sleep_deadlock, r) ->
+          add_failure r { v with sleep_deadlocks = v.sleep_deadlocks + 1 }
+      | Sim_engine.Deadlocked (Sim_engine.Spin_deadlock, r) ->
+          add_failure r { v with spin_deadlocks = v.spin_deadlocks + 1 }
+      | Sim_engine.Panicked r ->
+          add_failure r { v with panics = v.panics + 1 }
+      | Sim_engine.Hit_step_limit ->
+          add_failure "step limit" { v with step_limits = v.step_limits + 1 })
+    {
+      seeds_run = 0;
+      completed = 0;
+      sleep_deadlocks = 0;
+      spin_deadlocks = 0;
+      panics = 0;
+      step_limits = 0;
+      failures = [];
+    }
+    seeds
+
+let all_completed v = v.completed = v.seeds_run && v.panics = 0
+
+let some_deadlock v = v.sleep_deadlocks > 0 || v.spin_deadlocks > 0
+
+let find_first_deadlock ?(cpus = 4) ?(max_seeds = 200) scenario =
+  let rec search seed =
+    if seed > max_seeds then None
+    else
+      let cfg = Sim_config.exploration ~cpus ~seed () in
+      match Sim_engine.run_outcome ~cfg scenario with
+      | Sim_engine.Deadlocked (_, report) -> Some (seed, report)
+      | _ -> search (seed + 1)
+  in
+  search 1

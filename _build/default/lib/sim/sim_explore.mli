@@ -1,0 +1,41 @@
+(** Schedule exploration: run one scenario under many seeds (and therefore
+    many interleavings) and aggregate the outcomes.  This is the tool the
+    correctness experiments (E6, E7, E11) use to show that a buggy locking
+    protocol deadlocks on {e some} schedule while the disciplined protocol
+    deadlocks on {e none}. *)
+
+type verdict = {
+  seeds_run : int;
+  completed : int;
+  sleep_deadlocks : int;
+  spin_deadlocks : int;
+  panics : int;
+  step_limits : int;
+  failures : (int * string) list;
+      (** (seed, report) for each non-completed outcome, most recent
+          first; capped at 16 reports. *)
+}
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val run :
+  ?cpus:int ->
+  ?policy:Sim_config.policy ->
+  ?seeds:int list ->
+  ?tweak:(Sim_config.t -> Sim_config.t) ->
+  (unit -> unit) ->
+  verdict
+(** [run scenario] executes the scenario once per seed (default seeds
+    1..100) under the exploration configuration and tallies outcomes.
+    [tweak] post-processes the configuration (e.g. to bound steps). *)
+
+val all_completed : verdict -> bool
+val some_deadlock : verdict -> bool
+
+val find_first_deadlock :
+  ?cpus:int ->
+  ?max_seeds:int ->
+  (unit -> unit) ->
+  (int * string) option
+(** Search seeds 1,2,... until a deadlock is found; [None] if none within
+    [max_seeds] (default 200). *)

@@ -1,0 +1,31 @@
+(** {!Mach_core.Machine_intf.MACHINE} implemented on the simulated
+    multiprocessor: the machine the kernel model runs on. *)
+
+let name = "sim"
+
+module Cell = Sim_engine.Cell
+
+type thread = Sim_engine.thread
+
+let self = Sim_engine.self
+let thread_id = Sim_engine.thread_id
+let thread_name = Sim_engine.thread_name
+let equal_thread = Sim_engine.equal_thread
+let in_interrupt = Sim_engine.in_interrupt
+let cpu_count = Sim_engine.cpu_count
+let current_cpu = Sim_engine.current_cpu
+
+let spin_pause () =
+  Sim_engine.count_spin_pause ();
+  Sim_engine.pause ()
+
+let spin_hint = Sim_engine.spin_hint
+let park = Sim_engine.park
+let unpark = Sim_engine.unpark
+let set_spl = Sim_engine.set_spl
+let get_spl = Sim_engine.get_spl
+let cycles = Sim_engine.cycles
+let now_cycles = Sim_engine.now_cycles
+let tls_get = Sim_engine.tls_get
+let tls_set = Sim_engine.tls_set
+let fatal = Sim_engine.fatal

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (splitmix64) for the simulator.
+
+    Every source of scheduling nondeterminism draws from one of these
+    generators, so a (seed, config) pair fully determines a run — the
+    property the schedule-exploration tests rely on. *)
+
+type t
+
+val make : int -> t
+(** Seeded generator. *)
+
+val copy : t -> t
+
+val next : t -> int
+(** Uniform non-negative int (62 bits). *)
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound); [bound] must be positive. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

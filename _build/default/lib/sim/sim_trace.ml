@@ -1,0 +1,61 @@
+type event = {
+  step : int;
+  clock : int;
+  cpu : int;
+  context : string;
+  tag : string;
+  detail : string;
+}
+
+type t = {
+  capacity : int;
+  on : bool;
+  buf : event option array;
+  mutable next : int;
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let make ~capacity ~enabled =
+  {
+    capacity = max 1 capacity;
+    on = enabled;
+    buf = Array.make (max 1 capacity) None;
+    next = 0;
+    count = 0;
+    dropped = 0;
+  }
+
+let enabled t = t.on
+
+let record t e =
+  if t.on then begin
+    if t.count = t.capacity then t.dropped <- t.dropped + 1
+    else t.count <- t.count + 1;
+    t.buf.(t.next) <- Some e;
+    t.next <- (t.next + 1) mod t.capacity
+  end
+
+let events t =
+  let out = ref [] in
+  for i = 0 to t.capacity - 1 do
+    let idx = (t.next + i) mod t.capacity in
+    match t.buf.(idx) with Some e -> out := e :: !out | None -> ()
+  done;
+  List.rev !out
+
+let dropped t = t.dropped
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0;
+  t.dropped <- 0
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%8d c%d @%8d] %-12s %-8s %s" e.step e.cpu e.clock
+    e.context e.tag e.detail
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t);
+  if t.dropped > 0 then Format.fprintf ppf "... (%d earlier events dropped)@." t.dropped

@@ -1,0 +1,25 @@
+(** Bounded event trace for the simulator: a ring buffer of structured
+    events, readable after a run for debugging and for tests that assert
+    orderings (e.g. "no reader ran while the writer held the lock"). *)
+
+type event = {
+  step : int;          (** scheduler step at which the event occurred *)
+  clock : int;         (** the cpu's cycle clock *)
+  cpu : int;
+  context : string;    (** thread or interrupt name *)
+  tag : string;        (** event class: "spawn", "park", "tas", ... *)
+  detail : string;
+}
+
+type t
+
+val make : capacity:int -> enabled:bool -> t
+val enabled : t -> bool
+val record : t -> event -> unit
+val events : t -> event list
+(** Oldest first; at most [capacity] most recent events. *)
+
+val dropped : t -> int
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit
+val dump : Format.formatter -> t -> unit

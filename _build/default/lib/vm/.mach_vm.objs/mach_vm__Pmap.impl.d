@@ -1,0 +1,1 @@
+lib/vm/pmap.ml: Atomic Hashtbl List Mach_core Mach_ksync Mach_sim Printf Tlb Tlb_shootdown

@@ -1,0 +1,1 @@
+lib/vm/pmap_system.ml: Mach_core Mach_ksync

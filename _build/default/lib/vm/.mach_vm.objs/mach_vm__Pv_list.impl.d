@@ -1,0 +1,1 @@
+lib/vm/pv_list.ml: Array List Mach_core Mach_ksync Mach_sim Pmap Printf

@@ -1,0 +1,1 @@
+lib/vm/pv_list.mli: Pmap

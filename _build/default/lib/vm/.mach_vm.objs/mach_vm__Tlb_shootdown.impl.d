@@ -1,0 +1,1 @@
+lib/vm/tlb_shootdown.ml: Array Atomic List Mach_core Mach_sim

@@ -1,0 +1,1 @@
+lib/vm/vm_fault.ml: Atomic Mach_ksync Vm_map Vm_object Vm_page

@@ -1,0 +1,1 @@
+lib/vm/vm_fault.mli: Vm_map

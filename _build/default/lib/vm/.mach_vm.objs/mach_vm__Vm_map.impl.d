@@ -1,0 +1,1 @@
+lib/vm/vm_map.ml: Atomic List Mach_ksync Pmap Pmap_system Printf Pv_list Tlb Vm_object Vm_page

@@ -1,0 +1,1 @@
+lib/vm/vm_map.mli: Mach_ksync Pmap Pmap_system Pv_list Tlb Vm_object Vm_page

@@ -1,0 +1,1 @@
+lib/vm/vm_object.ml: Hashtbl List Mach_ipc Mach_ksync Mach_sim Option Printf Vm_page

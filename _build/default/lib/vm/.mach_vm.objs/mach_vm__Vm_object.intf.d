@@ -1,0 +1,1 @@
+lib/vm/vm_object.mli: Mach_ipc Mach_ksync Vm_page

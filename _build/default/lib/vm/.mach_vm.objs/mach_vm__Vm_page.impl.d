@@ -1,0 +1,1 @@
+lib/vm/vm_page.ml: List Mach_ksync Printf

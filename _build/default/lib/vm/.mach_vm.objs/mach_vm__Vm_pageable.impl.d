@@ -1,0 +1,1 @@
+lib/vm/vm_pageable.ml: List Mach_ksync Vm_fault Vm_map Vm_object

@@ -1,0 +1,1 @@
+lib/vm/vm_pageable.mli: Vm_map

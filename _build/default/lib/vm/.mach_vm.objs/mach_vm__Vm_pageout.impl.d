@@ -1,0 +1,1 @@
+lib/vm/vm_pageout.ml: List Mach_ksync Mach_sim Pmap_system Pv_list Vm_map Vm_object Vm_page

@@ -1,0 +1,1 @@
+lib/vm/vm_pageout.mli: Vm_map

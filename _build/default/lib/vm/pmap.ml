@@ -1,0 +1,111 @@
+module Engine = Mach_sim.Sim_engine
+module K = Mach_ksync.Ksync
+module Spl = Mach_core.Spl
+
+type t = {
+  pid : int;
+  pname : string;
+  lock : K.Slock.t; (* pinned at splvm, section 7 *)
+  table : (int, Tlb.entry) Hashtbl.t; (* va -> entry *)
+  mutable cpus : int list;
+}
+
+let id_counter = Atomic.make 0
+
+let create ?name () =
+  let pid = Atomic.fetch_and_add id_counter 1 in
+  let pname =
+    match name with Some n -> n | None -> Printf.sprintf "pmap%d" pid
+  in
+  {
+    pid;
+    pname;
+    lock = K.Slock.make ~name:(pname ^ ".lock") ~spl:Spl.Splvm ();
+    table = Hashtbl.create 64;
+    cpus = [];
+  }
+
+let id t = t.pid
+let name t = t.pname
+
+(* Every pmap critical section follows the same shape: raise spl to splvm,
+   flag the cpu as pmap-critical (for the shootdown special logic), take
+   the pmap lock, work, release, unflag, restore spl.  The flag goes up
+   BEFORE the spin on the lock: a processor spinning for a pmap lock with
+   interrupts masked is exactly the case the section 7 special logic
+   removes from the barrier set. *)
+let with_pmap_lock t f =
+  let old = Engine.set_spl Spl.Splvm in
+  let cpu = Engine.current_cpu () in
+  Tlb_shootdown.note_pmap_critical_enter ~cpu;
+  K.Slock.lock t.lock;
+  let finish () =
+    K.Slock.unlock t.lock;
+    (* The thread cannot have migrated: it ran at splvm throughout. *)
+    Tlb_shootdown.note_pmap_critical_exit ~cpu;
+    ignore (Engine.set_spl old)
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let activate t ~cpu =
+  with_pmap_lock t (fun () ->
+      if not (List.mem cpu t.cpus) then t.cpus <- cpu :: t.cpus)
+
+let deactivate t ~cpu =
+  with_pmap_lock t (fun () ->
+      t.cpus <- List.filter (fun c -> c <> cpu) t.cpus;
+      Tlb.flush_pmap ~cpu ~pmap_id:t.pid)
+
+let active_cpus t = t.cpus
+
+let enter t ~va ~ppn ~prot =
+  with_pmap_lock t (fun () ->
+      Hashtbl.replace t.table va { Tlb.ppn; prot };
+      Tlb.load ~cpu:(Engine.current_cpu ()) ~pmap_id:t.pid ~va
+        { Tlb.ppn; prot })
+
+let remove t ~va =
+  with_pmap_lock t (fun () ->
+      match Hashtbl.find_opt t.table va with
+      | None -> None
+      | Some e ->
+          Tlb_shootdown.shootdown ~pmap_id:t.pid ~targets:t.cpus
+            ~invalidate:(fun ~cpu -> Tlb.flush_entry ~cpu ~pmap_id:t.pid ~va)
+            ~commit:(fun () -> Hashtbl.remove t.table va);
+          Some e.Tlb.ppn)
+
+let protect t ~va ~prot =
+  with_pmap_lock t (fun () ->
+      match Hashtbl.find_opt t.table va with
+      | None -> ()
+      | Some e ->
+          Tlb_shootdown.shootdown ~pmap_id:t.pid ~targets:t.cpus
+            ~invalidate:(fun ~cpu -> Tlb.flush_entry ~cpu ~pmap_id:t.pid ~va)
+            ~commit:(fun () ->
+              Hashtbl.replace t.table va { e with Tlb.prot }))
+
+let translate t ~va =
+  let cpu = Engine.current_cpu () in
+  match Tlb.lookup ~cpu ~pmap_id:t.pid ~va with
+  | Some e -> Some e
+  | None ->
+      with_pmap_lock t (fun () ->
+          match Hashtbl.find_opt t.table va with
+          | Some e ->
+              Tlb.load ~cpu:(Engine.current_cpu ()) ~pmap_id:t.pid ~va e;
+              Some e
+          | None -> None)
+
+let resident_count t = with_pmap_lock t (fun () -> Hashtbl.length t.table)
+
+let remove_all t =
+  with_pmap_lock t (fun () ->
+      Tlb_shootdown.shootdown ~pmap_id:t.pid ~targets:t.cpus
+        ~invalidate:(fun ~cpu -> Tlb.flush_pmap ~cpu ~pmap_id:t.pid)
+        ~commit:(fun () -> Hashtbl.reset t.table))

@@ -1,0 +1,52 @@
+(** Physical maps: the machine dependent side of the Mach VM system
+    (paper, section 5; Tevanian's thesis [15]).
+
+    A pmap maintains virtual-to-physical mappings in the format the MMU
+    requires, protected by a simple lock held at [splvm].  Mapping removal
+    and protection reduction on a pmap that is active on other processors
+    trigger a TLB shootdown.
+
+    Lock ordering with the pv lists is the section 5 conflict this module
+    is famous for; the ordering is arbitrated by {!Pmap_system} — pmap
+    code itself only asserts that its own lock discipline (spl, critical
+    section flags) holds. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val id : t -> int
+val name : t -> string
+
+(** {1 Processor activation} *)
+
+val activate : t -> cpu:int -> unit
+(** The pmap is in use on the cpu (a thread of a task using this address
+    space runs there): shootdowns must reach it. *)
+
+val deactivate : t -> cpu:int -> unit
+
+val active_cpus : t -> int list
+
+(** {1 Mapping operations} *)
+
+val enter : t -> va:int -> ppn:int -> prot:Tlb.prot -> unit
+(** Install a translation (no shootdown needed: adding permissions or a
+    fresh mapping cannot make a remote TLB stale in a harmful way for
+    this model). *)
+
+val remove : t -> va:int -> int option
+(** Remove a translation, returning the physical page it mapped.
+    Performs a TLB shootdown across the pmap's active cpus. *)
+
+val protect : t -> va:int -> prot:Tlb.prot -> unit
+(** Reduce protection; shoots down remote TLBs. *)
+
+val translate : t -> va:int -> Tlb.entry option
+(** MMU translation: per-cpu TLB first, then the page table (loading the
+    TLB on the way). *)
+
+val resident_count : t -> int
+
+val remove_all : t -> unit
+(** Tear down every mapping (address-space destruction), with a single
+    flush-style shootdown. *)

@@ -1,0 +1,71 @@
+module K = Mach_ksync.Ksync
+module Spl = Mach_core.Spl
+module Engine = Mach_sim.Sim_engine
+
+type bucket = { block : K.Slock.t; mutable entries : (int * Pmap.t * int) list }
+
+type t = { buckets : bucket array }
+
+let n_buckets = 32
+
+let create ?(name = "pv") () =
+  {
+    buckets =
+      Array.init n_buckets (fun i ->
+          {
+            block =
+              K.Slock.make
+                ~name:(Printf.sprintf "%s.bucket%d" name i)
+                ~spl:Spl.Splvm ();
+            entries = [];
+          });
+  }
+
+let bucket_of t ppn = t.buckets.(ppn land (n_buckets - 1))
+
+let with_bucket t ppn f =
+  let old = Engine.set_spl Spl.Splvm in
+  let b = bucket_of t ppn in
+  K.Slock.lock b.block;
+  let finish () =
+    K.Slock.unlock b.block;
+    ignore (Engine.set_spl old)
+  in
+  match f b with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let enter t ~ppn ~pmap ~va =
+  with_bucket t ppn (fun b -> b.entries <- (ppn, pmap, va) :: b.entries)
+
+let remove t ~ppn ~pmap ~va =
+  with_bucket t ppn (fun b ->
+      b.entries <-
+        List.filter
+          (fun (p, pm, v) ->
+            not (p = ppn && Pmap.id pm = Pmap.id pmap && v = va))
+          b.entries)
+
+let mappings t ~ppn =
+  with_bucket t ppn (fun b ->
+      List.filter_map
+        (fun (p, pm, v) -> if p = ppn then Some (pm, v) else None)
+        b.entries)
+
+let remove_all_mappings t ~ppn =
+  (* pv list first, then each pmap: the reverse order — legal only under
+     the write side of the pmap system lock. *)
+  let maps =
+    with_bucket t ppn (fun b ->
+        let mine, rest =
+          List.partition (fun (p, _, _) -> p = ppn) b.entries
+        in
+        b.entries <- rest;
+        mine)
+  in
+  List.iter (fun (_, pmap, va) -> ignore (Pmap.remove pmap ~va)) maps;
+  List.length maps

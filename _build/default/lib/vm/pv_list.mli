@@ -1,0 +1,22 @@
+(** Physical-to-virtual (pv) lists: the inverted page table (paper,
+    section 5).
+
+    For each physical page, the pv list records every (pmap, virtual
+    address) that maps it, so pageout can find and break all mappings of a
+    page it wants to reclaim.  Buckets are protected by simple locks held
+    at [splvm], like the pmap locks they interleave with; the two lock
+    orders (pmap→pv on the fault path, pv→pmap on the pageout path) are
+    arbitrated by {!Pmap_system}. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val enter : t -> ppn:int -> pmap:Pmap.t -> va:int -> unit
+val remove : t -> ppn:int -> pmap:Pmap.t -> va:int -> unit
+val mappings : t -> ppn:int -> (Pmap.t * int) list
+
+val remove_all_mappings : t -> ppn:int -> int
+(** Break every mapping of the page via [Pmap.remove] (each one shooting
+    down TLBs) and clear the list; returns how many mappings were broken.
+    Caller must hold the reverse (write) side of the pmap system lock:
+    this walks pv-then-pmap. *)

@@ -1,0 +1,34 @@
+type prot = Read_only | Read_write
+
+let prot_to_string = function
+  | Read_only -> "r"
+  | Read_write -> "rw"
+
+type entry = { ppn : int; prot : prot }
+
+let max_cpus = 64
+
+(* (pmap_id, va) -> entry, one table per cpu.  Only the owning cpu reads
+   or writes its table (shootdown handlers run *on* the target cpu), so no
+   locking is needed — faithfully to hardware. *)
+let tlbs : (int * int, entry) Hashtbl.t array =
+  Array.init max_cpus (fun _ -> Hashtbl.create 64)
+
+let load ~cpu ~pmap_id ~va e = Hashtbl.replace tlbs.(cpu) (pmap_id, va) e
+let lookup ~cpu ~pmap_id ~va = Hashtbl.find_opt tlbs.(cpu) (pmap_id, va)
+let flush_entry ~cpu ~pmap_id ~va = Hashtbl.remove tlbs.(cpu) (pmap_id, va)
+
+let flush_pmap ~cpu ~pmap_id =
+  let doomed =
+    Hashtbl.fold
+      (fun (p, va) _ acc -> if p = pmap_id then (p, va) :: acc else acc)
+      tlbs.(cpu) []
+  in
+  List.iter (Hashtbl.remove tlbs.(cpu)) doomed
+
+let flush_all ~cpu = Hashtbl.reset tlbs.(cpu)
+
+let entries ~cpu ~pmap_id =
+  Hashtbl.fold
+    (fun (p, _) _ acc -> if p = pmap_id then acc + 1 else acc)
+    tlbs.(cpu) 0

@@ -1,0 +1,20 @@
+(** Per-processor translation lookaside buffers (software model).
+
+    Each virtual cpu caches (pmap, virtual address) -> (physical page,
+    protection) translations.  A cpu loads its own TLB on use; {e no}
+    hardware invalidates remote TLBs — that is exactly why TLB shootdown
+    (paper, section 7 and reference [2]) exists. *)
+
+type prot = Read_only | Read_write
+
+val prot_to_string : prot -> string
+
+type entry = { ppn : int; prot : prot }
+
+val load : cpu:int -> pmap_id:int -> va:int -> entry -> unit
+val lookup : cpu:int -> pmap_id:int -> va:int -> entry option
+val flush_entry : cpu:int -> pmap_id:int -> va:int -> unit
+val flush_pmap : cpu:int -> pmap_id:int -> unit
+val flush_all : cpu:int -> unit
+val entries : cpu:int -> pmap_id:int -> int
+(** Number of cached translations for the pmap (diagnostics). *)

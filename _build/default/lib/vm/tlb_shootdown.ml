@@ -1,0 +1,67 @@
+module Engine = Mach_sim.Sim_engine
+module Spl = Mach_core.Spl
+
+let max_cpus = 64
+
+(* Per-cpu count of threads attempting/holding pmap locks.  Only the
+   owning cpu updates its slot (pmap code runs at splvm, so it cannot be
+   preempted off the cpu mid-update). *)
+let critical = Array.make max_cpus 0
+
+let note_pmap_critical_enter ~cpu = critical.(cpu) <- critical.(cpu) + 1
+
+let note_pmap_critical_exit ~cpu =
+  if critical.(cpu) <= 0 then
+    Engine.fatal "tlb_shootdown: unbalanced pmap-critical exit";
+  critical.(cpu) <- critical.(cpu) - 1
+
+let in_pmap_critical ~cpu = critical.(cpu) > 0
+
+let performed = Atomic.make 0
+let shootdowns_performed () = Atomic.get performed
+
+let shootdown ~pmap_id ~targets ~invalidate ~commit =
+  ignore pmap_id;
+  let me = Engine.current_cpu () in
+  if Spl.rank (Engine.get_spl ()) < Spl.rank Spl.Splvm then
+    Engine.fatal
+      "tlb_shootdown: initiator must hold splvm (locks and their interrupt \
+       priority go together, section 7)";
+  let remote = List.sort_uniq compare (List.filter (fun c -> c <> me) targets) in
+  (* Section 7 special logic: processors in pmap critical sections are
+     removed from the barrier; the update is still posted to them. *)
+  let participants, lazies =
+    List.partition (fun c -> not (in_pmap_critical ~cpu:c)) remote
+  in
+  let n = List.length participants in
+  let checked_in = Engine.Cell.make ~name:"shootdown.checked_in" 0 in
+  let go = Engine.Cell.make ~name:"shootdown.go" 0 in
+  List.iter
+    (fun cpu ->
+      Engine.post_interrupt ~name:"tlb-shootdown" ~cpu ~level:Spl.Splvm
+        (fun () ->
+          ignore (Engine.Cell.fetch_and_add checked_in 1);
+          (* Wait for the initiator to commit the update: the barrier —
+             no participant leaves before all have entered and the page
+             table is consistent. *)
+          Engine.spin_hint "shootdown.go";
+          while Engine.Cell.get go = 0 do
+            Engine.pause ()
+          done;
+          invalidate ~cpu:(Engine.current_cpu ())))
+    participants;
+  List.iter
+    (fun cpu ->
+      (* Lazy flush: delivered whenever that cpu leaves its pmap critical
+         section and re-enables interrupts; no rendezvous. *)
+      Engine.post_interrupt ~name:"tlb-flush" ~cpu ~level:Spl.Splvm
+        (fun () -> invalidate ~cpu:(Engine.current_cpu ())))
+    lazies;
+  Engine.spin_hint "shootdown.checked_in";
+  while Engine.Cell.get checked_in < n do
+    Engine.pause ()
+  done;
+  commit ();
+  invalidate ~cpu:me;
+  Engine.Cell.set go 1;
+  ignore (Atomic.fetch_and_add performed 1)

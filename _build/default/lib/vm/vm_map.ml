@@ -1,0 +1,189 @@
+module K = Mach_ksync.Ksync
+
+type context = {
+  pool : Vm_page.t;
+  pv : Pv_list.t;
+  psys : Pmap_system.t;
+}
+
+let make_context ?(name = "vm") ~pages () =
+  {
+    pool = Vm_page.create ~name:(name ^ ".pool") ~pages ();
+    pv = Pv_list.create ~name:(name ^ ".pv") ();
+    psys = Pmap_system.create ~name:(name ^ ".pmap-system") ();
+  }
+
+type entry = {
+  mutable va_start : int;
+  mutable va_end : int;
+  e_object : Vm_object.t;
+  mutable e_offset : int;
+  mutable e_wired : bool;
+  mutable e_prot : Tlb.prot;
+}
+
+type t = {
+  mname : string;
+  ctx : context;
+  lock : K.Clock.t;
+  mutable map_entries : entry list; (* sorted by va_start *)
+  map_pmap : Pmap.t;
+  refs : K.Ref.t;
+  mutable ver : int;
+  mutable next_va : int; (* naive address allocator *)
+}
+
+let map_counter = Atomic.make 0
+
+let create ?name ctx =
+  let id = Atomic.fetch_and_add map_counter 1 in
+  let mname =
+    match name with Some n -> n | None -> Printf.sprintf "map%d" id
+  in
+  {
+    mname;
+    ctx;
+    lock = K.Clock.make ~name:(mname ^ ".lock") ~can_sleep:true ();
+    map_entries = [];
+    map_pmap = Pmap.create ~name:(mname ^ ".pmap") ();
+    refs = K.Ref.make ~name:(mname ^ ".refs") ();
+    ver = 0;
+    next_va = 0x1000;
+  }
+
+let name t = t.mname
+let context t = t.ctx
+let pmap t = t.map_pmap
+let map_lock t = t.lock
+let reference t = K.Ref.clone t.refs
+let version t = t.ver
+let bump_version t = t.ver <- t.ver + 1
+
+(* ------------------------------------------------------------------ *)
+(* Mapping helpers: forward (pmap-then-pv) order under the read side of
+   the pmap system lock (section 5).                                    *)
+(* ------------------------------------------------------------------ *)
+
+let map_page t entry ~va ~ppn =
+  Pmap_system.forward t.ctx.psys (fun () ->
+      Pmap.enter t.map_pmap ~va ~ppn ~prot:entry.e_prot;
+      Pv_list.enter t.ctx.pv ~ppn ~pmap:t.map_pmap ~va)
+
+let unmap_page t ~va ~ppn =
+  Pmap_system.forward t.ctx.psys (fun () ->
+      ignore (Pmap.remove t.map_pmap ~va);
+      Pv_list.remove t.ctx.pv ~ppn ~pmap:t.map_pmap ~va)
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lookup_entry t ~va =
+  List.find_opt (fun e -> va >= e.va_start && va < e.va_end) t.map_entries
+
+let entries t = t.map_entries
+
+let size t =
+  List.fold_left (fun acc e -> acc + (e.va_end - e.va_start)) 0 t.map_entries
+
+let overlap t ~va ~size =
+  List.exists
+    (fun e -> va < e.va_end && va + size > e.va_start)
+    t.map_entries
+
+let insert_entry t e =
+  t.map_entries <-
+    List.sort (fun a b -> compare a.va_start b.va_start) (e :: t.map_entries);
+  bump_version t
+
+let vm_allocate_at t ~va ~size =
+  K.Clock.lock_write t.lock;
+  if overlap t ~va ~size then begin
+    K.Clock.lock_done t.lock;
+    Error `Overlap
+  end
+  else begin
+    let obj =
+      Vm_object.create
+        ~name:(Printf.sprintf "%s.obj@%x" t.mname va)
+        ~pool:t.ctx.pool ~size ()
+    in
+    insert_entry t
+      {
+        va_start = va;
+        va_end = va + size;
+        e_object = obj;
+        e_offset = 0;
+        e_wired = false;
+        e_prot = Tlb.Read_write;
+      };
+    if va + size > t.next_va then t.next_va <- va + size;
+    K.Clock.lock_done t.lock;
+    Ok va
+  end
+
+let vm_allocate t ~size =
+  K.Clock.lock_write t.lock;
+  let va = t.next_va in
+  t.next_va <- va + size;
+  let obj =
+    Vm_object.create
+      ~name:(Printf.sprintf "%s.obj@%x" t.mname va)
+      ~pool:t.ctx.pool ~size ()
+  in
+  insert_entry t
+    {
+      va_start = va;
+      va_end = va + size;
+      e_object = obj;
+      e_offset = 0;
+      e_wired = false;
+      e_prot = Tlb.Read_write;
+    };
+  K.Clock.lock_done t.lock;
+  va
+
+(* Tear one entry down: break its mappings, free its resident pages,
+   release the object reference the entry held.  Caller holds the map
+   lock for writing. *)
+let destroy_entry_locked t e =
+  let resident =
+    Vm_object.with_lock e.e_object (fun () ->
+        Vm_object.resident_pages e.e_object)
+  in
+  List.iter
+    (fun (p : Vm_object.page) ->
+      let va = e.va_start + (p.Vm_object.offset - e.e_offset) in
+      unmap_page t ~va ~ppn:p.Vm_object.ppn)
+    resident;
+  bump_version t;
+  Vm_object.terminate e.e_object
+
+let vm_deallocate t ~va =
+  K.Clock.lock_write t.lock;
+  match lookup_entry t ~va with
+  | None ->
+      K.Clock.lock_done t.lock;
+      Error `No_entry
+  | Some e ->
+      t.map_entries <- List.filter (fun e' -> e' != e) t.map_entries;
+      destroy_entry_locked t e;
+      K.Clock.lock_done t.lock;
+      (* The entry's object reference is dropped outside the map lock
+         (releasing may destroy, section 8 — the map lock is a sleep lock
+         so this is belt-and-braces rather than required). *)
+      Vm_object.release e.e_object;
+      Ok ()
+
+let release t =
+  match K.Ref.release t.refs with
+  | `Live -> ()
+  | `Last ->
+      (* Passive destruction: no deactivation flag (section 9). *)
+      K.Clock.lock_write t.lock;
+      let doomed = t.map_entries in
+      t.map_entries <- [];
+      List.iter (destroy_entry_locked t) doomed;
+      Pmap.remove_all t.map_pmap;
+      K.Clock.lock_done t.lock;
+      List.iter (fun e -> Vm_object.release e.e_object) doomed

@@ -1,0 +1,78 @@
+(** Memory maps: the address-space data structure (paper, sections 3, 5).
+
+    A map is a sorted list of entries, each mapping a virtual range onto a
+    memory object, protected by a {e sleep} complex lock (most complex
+    locks use the Sleep option, "including the lock on a memory map
+    data structure", section 4).  Maps are passively destroyed when their
+    last reference vanishes (they are {e not} deactivated, section 9).
+
+    The section 5 type-order convention applies: always lock the memory
+    map before the memory object. *)
+
+type context = {
+  pool : Vm_page.t;
+  pv : Pv_list.t;
+  psys : Pmap_system.t;
+}
+(** Machine-wide VM state shared by all maps. *)
+
+val make_context : ?name:string -> pages:int -> unit -> context
+
+type entry = {
+  mutable va_start : int;
+  mutable va_end : int; (* exclusive *)
+  e_object : Vm_object.t;
+  mutable e_offset : int; (* offset of va_start within the object *)
+  mutable e_wired : bool; (* wiring requested for the whole entry *)
+  mutable e_prot : Tlb.prot;
+}
+
+type t
+
+val create : ?name:string -> context -> t
+val name : t -> string
+val context : t -> context
+val pmap : t -> Pmap.t
+val map_lock : t -> Mach_ksync.Ksync.Clock.t
+val reference : t -> unit
+
+val release : t -> unit
+(** Drop a reference; the last one tears the map down (entries, mappings,
+    pages, pmap) — passive destruction. *)
+
+val version : t -> int
+(** Incremented by every structural modification; the rewritten
+    vm_map_pageable uses it to revalidate after relocking (section 7.1). *)
+
+val bump_version : t -> unit
+
+(** {1 Entry management (caller holds the map lock as noted)} *)
+
+val vm_allocate : t -> size:int -> int
+(** Allocate a fresh zero-filled region backed by a new memory object;
+    returns its start address.  Takes the map lock for writing. *)
+
+val vm_allocate_at : t -> va:int -> size:int -> (int, [ `Overlap ]) result
+
+val vm_deallocate : t -> va:int -> (unit, [ `No_entry ]) result
+(** Remove the entry containing [va]: break its mappings (with
+    shootdowns), free its pages, release the object.  Takes the map lock
+    for writing. *)
+
+val lookup_entry : t -> va:int -> entry option
+(** Caller must hold the map lock (read suffices). *)
+
+val entries : t -> entry list
+(** Caller must hold the map lock. *)
+
+val size : t -> int
+(** Total mapped bytes (pages in this model). *)
+
+(** {1 Mapping helper (used by the fault path)} *)
+
+val map_page : t -> entry -> va:int -> ppn:int -> unit
+(** Install va -> ppn in the pmap and the pv list, in the forward
+    (pmap-then-pv) order under the read side of the pmap system lock. *)
+
+val unmap_page : t -> va:int -> ppn:int -> unit
+(** Break one mapping in the forward order. *)

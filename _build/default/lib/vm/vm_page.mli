@@ -1,0 +1,37 @@
+(** The physical page pool.
+
+    Memory allocation "blocks if memory is not available" (paper,
+    section 4) — this pool is where that blocking happens.
+    [alloc_blocking] waits on the free-page event when the pool is empty
+    and raises the free-wanted flag so a pageout daemon knows to reclaim;
+    this wait is an ingredient of the vm_map_pageable deadlock of
+    section 7.1 (experiment E6). *)
+
+type t
+
+val create : ?name:string -> pages:int -> unit -> t
+(** A pool of physical pages numbered [0 .. pages-1], all free. *)
+
+val total : t -> int
+val free_count : t -> int
+
+val alloc : t -> int option
+(** Grab a free page, or [None] when the pool is empty.  Never blocks. *)
+
+val alloc_blocking : t -> int
+(** Grab a free page, blocking until one is available.  Must not be
+    called with simple locks held (it may sleep). *)
+
+val free : t -> int -> unit
+(** Return a page; wakes blocked allocators. *)
+
+val free_wanted : t -> bool
+(** True when some allocator is (or was recently) blocked on an empty
+    pool — the pageout daemon's trigger. *)
+
+val wait_free_wanted : t -> unit
+(** Pageout-daemon side: block until an allocator signals shortage. *)
+
+val shortage_event_kick : t -> unit
+(** Wake a pageout daemon blocked in {!wait_free_wanted} (used on
+    shutdown of a scenario). *)

@@ -1,0 +1,112 @@
+module K = Mach_ksync.Ksync
+
+type wire_error = [ `Bad_address | `Object_terminated | `Map_changed ]
+
+let mark_entries_locked map ~va ~pages ~wired =
+  let rec mark i =
+    if i >= pages then Ok ()
+    else
+      match Vm_map.lookup_entry map ~va:(va + i) with
+      | None -> Error `Bad_address
+      | Some e ->
+          e.Vm_map.e_wired <- wired;
+          (* skip to the end of this entry *)
+          mark (max (i + 1) (e.Vm_map.va_end - va))
+  in
+  mark 0
+
+let fault_range map ~va ~pages =
+  let rec go i =
+    if i >= pages then Ok ()
+    else
+      match Vm_fault.fault ~wire:true map ~va:(va + i) with
+      | Ok _ -> go (i + 1)
+      | Error (`Bad_address | `Object_terminated) as e -> e
+  in
+  go 0
+
+(* The paper's original implementation: write lock -> mark -> set
+   recursive -> downgrade -> fault with the recursive read lock held. *)
+let wire_recursive map ~va ~pages =
+  let lock = Vm_map.map_lock map in
+  K.Clock.lock_write lock;
+  match mark_entries_locked map ~va ~pages ~wired:true with
+  | Error _ as e ->
+      K.Clock.lock_done lock;
+      e
+  | Ok () ->
+      K.Clock.lock_set_recursive lock;
+      K.Clock.lock_write_to_read lock;
+      (* Faults below recursively read-lock the map; a memory shortage
+         makes a fault drop its own recursive read and sleep — with the
+         outer read still held.  A pageout needing the write lock on this
+         map then deadlocks the system (section 7.1). *)
+      let result = fault_range map ~va ~pages in
+      K.Clock.lock_clear_recursive lock;
+      K.Clock.lock_done lock;
+      (result :> (unit, wire_error) result)
+
+(* The Mach 3.0 rewrite: no recursive locking.  Mark under the write
+   lock, remember the version, unlock completely, fault without the map
+   lock, relock and revalidate. *)
+let wire_rewritten map ~va ~pages =
+  let lock = Vm_map.map_lock map in
+  K.Clock.lock_write lock;
+  match mark_entries_locked map ~va ~pages ~wired:true with
+  | Error _ as e ->
+      K.Clock.lock_done lock;
+      e
+  | Ok () ->
+      K.Clock.lock_done lock;
+      let result = fault_range map ~va ~pages in
+      (match result with
+      | Error _ as e -> (e :> (unit, wire_error) result)
+      | Ok () ->
+          (* Revalidate: the entries must still exist and still be marked
+             wired (a concurrent deallocate would have removed them). *)
+          K.Clock.lock_read lock;
+          let rec check i =
+            if i >= pages then Ok ()
+            else
+              match Vm_map.lookup_entry map ~va:(va + i) with
+              | Some e when e.Vm_map.e_wired ->
+                  check (max (i + 1) (e.Vm_map.va_end - va))
+              | Some _ | None -> Error `Map_changed
+          in
+          let r = check 0 in
+          K.Clock.lock_done lock;
+          r)
+
+let unwire map ~va ~pages =
+  let lock = Vm_map.map_lock map in
+  K.Clock.lock_write lock;
+  ignore (mark_entries_locked map ~va ~pages ~wired:false);
+  for i = 0 to pages - 1 do
+    match Vm_map.lookup_entry map ~va:(va + i) with
+    | None -> ()
+    | Some e ->
+        let offset = e.Vm_map.e_offset + (va + i - e.Vm_map.va_start) in
+        Vm_object.with_lock e.Vm_map.e_object (fun () ->
+            match Vm_object.page_at e.Vm_map.e_object ~offset with
+            | Some page when page.Vm_object.wired > 0 ->
+                Vm_object.unwire page
+            | Some _ | None -> ())
+  done;
+  K.Clock.lock_done lock
+
+let wired_page_count map =
+  let lock = Vm_map.map_lock map in
+  K.Clock.lock_read lock;
+  let count =
+    List.fold_left
+      (fun acc e ->
+        acc
+        + Vm_object.with_lock e.Vm_map.e_object (fun () ->
+              List.length
+                (List.filter
+                   (fun p -> p.Vm_object.wired > 0)
+                   (Vm_object.resident_pages e.Vm_map.e_object))))
+      0 (Vm_map.entries map)
+  in
+  K.Clock.lock_done lock;
+  count

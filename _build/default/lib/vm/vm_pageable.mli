@@ -1,0 +1,39 @@
+(** vm_map_pageable: changing memory pageability — wiring (pinning) pages
+    (paper, section 7.1).
+
+    Two implementations, deliberately:
+
+    {!wire_recursive} is the paper's original: acquire the map lock for
+    writing, mark the entries wired, downgrade to a {e recursive} read
+    lock and fault the pages in (each fault recursively read-locks the
+    map).  If a fault cannot be satisfied because physical memory is
+    short, the fault drops {e its} lock to wait — but the outer recursive
+    read lock remains held, and if obtaining more memory requires a write
+    lock on the same map (the pageout path), the system deadlocks.
+    "While these deadlocks are difficult to cause, they have been
+    observed in practice."
+
+    {!wire_rewritten} is the Mach 3.0 rewrite the paper announces: mark
+    the entries under the write lock, record the map version, release the
+    lock {e completely}, fault the pages with no map lock held, then
+    relock and revalidate against the version.  No recursive locks, no
+    deadlock. *)
+
+type wire_error = [ `Bad_address | `Object_terminated | `Map_changed ]
+
+val wire_recursive :
+  Vm_map.t -> va:int -> pages:int -> (unit, wire_error) result
+(** The original, deadlock-prone implementation (kept for experiment E6;
+    do not use in new code — mirroring the paper's own advice). *)
+
+val wire_rewritten :
+  Vm_map.t -> va:int -> pages:int -> (unit, wire_error) result
+(** The section 7.1 rewrite.  [`Map_changed] is returned when a
+    concurrent structural change invalidated the wiring (pageout bumping
+    the version does not count; deallocation of the range does). *)
+
+val unwire : Vm_map.t -> va:int -> pages:int -> unit
+(** Undo wiring: unwire the pages and clear the entry flags. *)
+
+val wired_page_count : Vm_map.t -> int
+(** Number of resident wired pages in the map (diagnostics). *)

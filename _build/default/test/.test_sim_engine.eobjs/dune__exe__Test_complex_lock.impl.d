@@ -1,0 +1,1 @@
+test/test_complex_lock.ml: Alcotest List Mach_ksync Mach_sim Printf Test_support

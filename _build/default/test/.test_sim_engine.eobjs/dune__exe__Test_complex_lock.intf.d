@@ -1,0 +1,1 @@
+test/test_complex_lock.mli:

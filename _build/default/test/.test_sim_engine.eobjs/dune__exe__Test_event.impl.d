@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest List Mach_core Mach_ksync Mach_sim Printf Test_support

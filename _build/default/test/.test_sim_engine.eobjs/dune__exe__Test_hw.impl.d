@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Atomic Domain List Mach_core Mach_hw

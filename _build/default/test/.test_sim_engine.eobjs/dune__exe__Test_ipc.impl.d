@@ -1,0 +1,1 @@
+test/test_ipc.ml: Alcotest List Mach_ipc Mach_ksync Mach_sim Printf Test_support

@@ -1,0 +1,1 @@
+test/test_kern.ml: Alcotest List Mach_ipc Mach_kern Mach_kernel Mach_ksync Mach_sim Mach_vm Option Printf Test_support

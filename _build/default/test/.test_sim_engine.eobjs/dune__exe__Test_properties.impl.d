@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Gen Hashtbl List Mach_kern Mach_ksync Mach_sim Mach_vm QCheck QCheck_alcotest Test_support

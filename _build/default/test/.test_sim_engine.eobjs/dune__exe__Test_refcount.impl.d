@@ -1,0 +1,1 @@
+test/test_refcount.ml: Alcotest List Mach_core Mach_ksync Mach_sim Option String

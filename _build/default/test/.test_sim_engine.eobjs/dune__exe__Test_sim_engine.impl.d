@@ -1,0 +1,1 @@
+test/test_sim_engine.ml: Alcotest Array List Mach_core Mach_sim Printf String

@@ -1,0 +1,1 @@
+test/test_simple_lock.ml: Alcotest Fun List Mach_core Mach_ksync Mach_sim Option Printf String

@@ -1,0 +1,1 @@
+test/test_spl.ml: Alcotest List Mach_core QCheck QCheck_alcotest

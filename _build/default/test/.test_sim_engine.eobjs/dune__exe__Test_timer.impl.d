@@ -1,0 +1,1 @@
+test/test_timer.ml: Alcotest List Mach_kern Mach_sim Test_support

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Fun List Mach_core Mach_ipc Mach_ksync Mach_sim Mach_vm Option Test_support

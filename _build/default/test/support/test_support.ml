@@ -1,0 +1,26 @@
+(* Shared helpers for the test suites. *)
+
+module Engine = Mach_sim.Sim_engine
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* Run [f] inside a fresh simulation and return its result. *)
+let in_sim ?cfg f =
+  let result = ref None in
+  ignore (Engine.run ?cfg (fun () -> result := Some (f ())));
+  Option.get !result
+
+(* Condition-based synchronization for tests: simulated time offers no
+   guarantee that "N pauses" let another thread progress, so tests must
+   wait on observable state.  The engine watchdog catches a condition
+   that never becomes true. *)
+let wait_until pred =
+  while not (pred ()) do
+    Engine.pause ()
+  done
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)

@@ -1,0 +1,210 @@
+(* Model-based property tests (qcheck): random operation sequences
+   executed against the real modules and simple reference models in
+   lockstep.  These run single-threaded inside the simulator (concurrency
+   properties live in the exploration tests); what they pin down is the
+   sequential semantics of each protocol. *)
+
+module Engine = Mach_sim.Sim_engine
+module K = Mach_ksync.Ksync
+module Zalloc = Mach_kern.Zalloc
+module Vm_page = Mach_vm.Vm_page
+open Test_support
+
+let prop name gen f = QCheck.Test.make ~count:100 ~name gen f
+
+(* ------------------------------------------------------------------ *)
+(* Zone allocator vs a set model                                        *)
+(* ------------------------------------------------------------------ *)
+
+let zalloc_ops_gen =
+  QCheck.(list_of_size (Gen.int_range 1 60) (int_range 0 2))
+  (* 0 = try_alloc, 1 = free one allocated element, 2 = query in_use *)
+
+let zalloc_conformance ops =
+  in_sim (fun () ->
+      let capacity = 5 in
+      let z = Zalloc.create ~capacity () in
+      let model = Hashtbl.create 8 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 -> (
+              match Zalloc.try_alloc z with
+              | Some e ->
+                  (* must be fresh and capacity respected *)
+                  let fresh = not (Hashtbl.mem model e) in
+                  Hashtbl.replace model e ();
+                  fresh && Hashtbl.length model <= capacity
+              | None -> Hashtbl.length model = capacity)
+          | 1 -> (
+              match Hashtbl.fold (fun e () _ -> Some e) model None with
+              | Some e ->
+                  Zalloc.free z e;
+                  Hashtbl.remove model e;
+                  true
+              | None -> true)
+          | _ -> Zalloc.in_use z = Hashtbl.length model)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Page pool vs a counter model                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pool_conformance ops =
+  in_sim (fun () ->
+      let pages = 6 in
+      let pool = Vm_page.create ~pages () in
+      let held = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 -> (
+              match Vm_page.alloc pool with
+              | Some p ->
+                  let fresh = not (List.mem p !held) in
+                  held := p :: !held;
+                  fresh
+              | None -> List.length !held = pages)
+          | 1 -> (
+              match !held with
+              | p :: rest ->
+                  Vm_page.free pool p;
+                  held := rest;
+                  true
+              | [] -> true)
+          | _ -> Vm_page.free_count pool = pages - List.length !held)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Refcount balance                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let refcount_balance clones =
+  in_sim (fun () ->
+      let r = K.Ref.make () in
+      List.iter (fun () -> K.Ref.clone r) (List.init clones (fun _ -> ()));
+      let ok_count = K.Ref.count r = clones + 1 in
+      (* release all clones: never `Last while the creator ref remains *)
+      let all_live =
+        List.for_all
+          (fun () -> K.Ref.release r = `Live)
+          (List.init clones (fun _ -> ()))
+      in
+      ok_count && all_live && K.Ref.release r = `Last)
+
+(* ------------------------------------------------------------------ *)
+(* Complex lock vs a readers/writer state model (single thread, so only
+   non-blocking transitions are generated)                              *)
+(* ------------------------------------------------------------------ *)
+
+type rw_model = { mutable m_readers : int; mutable m_writer : bool }
+
+let rw_conformance script =
+  in_sim (fun () ->
+      let l = K.Clock.make ~can_sleep:true () in
+      let m = { m_readers = 0; m_writer = false } in
+      (* each script element picks among the currently-legal ops *)
+      List.for_all
+        (fun choice ->
+          let legal =
+            List.concat
+              [
+                (if (not m.m_writer) && m.m_readers = 0 then
+                   [
+                     (fun () ->
+                       K.Clock.lock_write l;
+                       m.m_writer <- true;
+                       true);
+                   ]
+                 else []);
+                (if not m.m_writer then
+                   [
+                     (fun () ->
+                       K.Clock.lock_read l;
+                       m.m_readers <- m.m_readers + 1;
+                       true);
+                   ]
+                 else []);
+                (if m.m_writer then
+                   [
+                     (fun () ->
+                       K.Clock.lock_done l;
+                       m.m_writer <- false;
+                       true);
+                     (fun () ->
+                       K.Clock.lock_write_to_read l;
+                       m.m_writer <- false;
+                       m.m_readers <- 1;
+                       true);
+                   ]
+                 else []);
+                (if m.m_readers > 0 && not m.m_writer then
+                   [
+                     (fun () ->
+                       K.Clock.lock_done l;
+                       m.m_readers <- m.m_readers - 1;
+                       true);
+                   ]
+                 else []);
+                (if m.m_readers = 1 && not m.m_writer then
+                   [
+                     (fun () ->
+                       (* single reader: upgrade always succeeds *)
+                       let failed = K.Clock.lock_read_to_write l in
+                       m.m_readers <- 0;
+                       m.m_writer <- true;
+                       not failed);
+                   ]
+                 else []);
+              ]
+          in
+          let conforms =
+            match legal with
+            | [] -> true
+            | ops -> (List.nth ops (choice mod List.length ops)) ()
+          in
+          (* observable state must agree with the model after every op *)
+          conforms
+          && K.Clock.read_count l = m.m_readers
+          && K.Clock.held_for_write l = m.m_writer
+          && K.Clock.lock_try_write l
+             = ((not m.m_writer) && m.m_readers = 0)
+          && (* undo the probe if it succeeded *)
+          (if (not m.m_writer) && m.m_readers = 0 then begin
+             K.Clock.lock_done l;
+             true
+           end
+           else true))
+        script)
+
+(* ------------------------------------------------------------------ *)
+(* Event ids                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_events_unique n =
+  in_sim (fun () ->
+      let evs = List.init n (fun _ -> K.Ev.fresh_event ()) in
+      List.length (List.sort_uniq compare evs) = n
+      && List.for_all (fun e -> e <> K.Ev.null_event) evs)
+
+let wakeup_no_waiters_is_zero ev =
+  in_sim (fun () -> K.Ev.thread_wakeup (abs ev + 1) = 0)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop "zalloc conforms to set model" zalloc_ops_gen zalloc_conformance;
+      prop "page pool conforms to counter model" zalloc_ops_gen
+        pool_conformance;
+      prop "refcount balance" QCheck.(int_range 0 30) refcount_balance;
+      prop "complex lock conforms to rw model"
+        QCheck.(list_of_size (Gen.int_range 1 80) (int_range 0 5))
+        rw_conformance;
+      prop "fresh events unique" QCheck.(int_range 1 100) fresh_events_unique;
+      prop "wakeup with no waiters wakes none" QCheck.int
+        wakeup_no_waiters_is_zero;
+    ]
+
+let () = Alcotest.run "properties" [ ("models", qcheck_cases) ]

@@ -1,0 +1,318 @@
+(* Simple locks on the simulated machine: Appendix A semantics, the
+   design-rule assertions, and mutual exclusion under schedule
+   exploration. *)
+
+module Engine = Mach_sim.Sim_engine
+module Explore = Mach_sim.Sim_explore
+module Spl = Mach_core.Spl
+module Spin = Mach_core.Spin
+module K = Mach_ksync.Ksync
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let in_sim f =
+  let result = ref None in
+  ignore
+    (Engine.run (fun () -> result := Some (f ())));
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+
+let test_basic_lock_unlock () =
+  in_sim (fun () ->
+      let l = K.Slock.make ~name:"t" () in
+      check_bool "initially free" false (K.Slock.is_locked l);
+      K.Slock.lock l;
+      check_bool "locked" true (K.Slock.is_locked l);
+      check_bool "held by self" true (K.Slock.held_by_self l);
+      K.Slock.unlock l;
+      check_bool "free again" false (K.Slock.is_locked l))
+
+let test_try_lock () =
+  in_sim (fun () ->
+      let l = K.Slock.make () in
+      check_bool "try succeeds when free" true (K.Slock.try_lock l);
+      check_bool "try fails when held" false (K.Slock.try_lock l);
+      K.Slock.unlock l;
+      check_bool "try succeeds after unlock" true (K.Slock.try_lock l);
+      K.Slock.unlock l)
+
+let test_all_protocols_acquire () =
+  in_sim (fun () ->
+      List.iter
+        (fun p ->
+          let l = K.Slock.make ~protocol:p () in
+          K.Slock.lock l;
+          K.Slock.unlock l)
+        Spin.all_protocols)
+
+let test_unlock_by_non_holder_panics () =
+  match
+    Engine.run_outcome (fun () ->
+        let l = K.Slock.make ~name:"owned" () in
+        K.Slock.lock l;
+        let intruder = Engine.spawn ~name:"intruder" (fun () ->
+            K.Slock.unlock l)
+        in
+        Engine.join intruder)
+  with
+  | Engine.Panicked msg ->
+      check_bool "names the lock" true (contains msg "owned")
+  | _ -> Alcotest.fail "unlock by non-holder must panic"
+
+let test_recursive_simple_lock_panics () =
+  match
+    Engine.run_outcome (fun () ->
+        let l = K.Slock.make () in
+        K.Slock.lock l;
+        K.Slock.lock l)
+  with
+  | Engine.Panicked msg ->
+      check_bool "mentions recursion" true (contains msg "recursive")
+  | _ -> Alcotest.fail "recursive simple lock acquisition must panic"
+
+let test_same_spl_rule_enforced () =
+  (* Section 7: each lock must always be acquired at the same spl. *)
+  match
+    Engine.run_outcome (fun () ->
+        let l = K.Slock.make ~name:"spl-pinned" () in
+        let old = Engine.set_spl Spl.Splvm in
+        K.Slock.lock l;
+        K.Slock.unlock l;
+        ignore (Engine.set_spl old);
+        (* second acquisition at a different level *)
+        K.Slock.lock l)
+  with
+  | Engine.Panicked msg ->
+      check_bool "mentions the spl rule" true (contains msg "same-spl")
+  | _ -> Alcotest.fail "acquiring at a different spl must panic"
+
+let test_spl_pinned_at_creation () =
+  match
+    Engine.run_outcome (fun () ->
+        let l = K.Slock.make ~name:"pinned" ~spl:Spl.Splvm () in
+        (* acquired at spl0: violates the pin *)
+        K.Slock.lock l)
+  with
+  | Engine.Panicked _ -> ()
+  | _ -> Alcotest.fail "violating a pinned spl must panic"
+
+let test_mutual_exclusion_explored () =
+  (* The fundamental property, over many schedules: no two threads inside
+     the critical section at once. *)
+  let scenario protocol () =
+    let l = K.Slock.make ~protocol () in
+    let inside = ref 0 in
+    let worker () =
+      for _ = 1 to 5 do
+        K.Slock.lock l;
+        incr inside;
+        if !inside <> 1 then Engine.fatal "mutual exclusion violated";
+        Engine.pause ();
+        decr inside;
+        K.Slock.unlock l
+      done
+    in
+    let ts = List.init 3 (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "w%d" i) worker)
+    in
+    List.iter Engine.join ts
+  in
+  List.iter
+    (fun p ->
+      let v =
+        Explore.run ~cpus:3
+          ~seeds:(List.init 25 (fun i -> i + 1))
+          (scenario p)
+      in
+      check_bool
+        (Spin.protocol_name p ^ " exclusion holds on all schedules")
+        true (Explore.all_completed v))
+    Spin.all_protocols
+
+let test_contention_counted () =
+  in_sim (fun () ->
+      let l = K.Slock.make () in
+      let worker () =
+        for _ = 1 to 10 do
+          K.Slock.lock l;
+          Engine.cycles 20;
+          K.Slock.unlock l
+        done
+      in
+      let ts = List.init 4 (fun _ -> Engine.spawn worker) in
+      List.iter Engine.join ts;
+      let st = K.Slock.stats l in
+      check_int "all acquisitions recorded" 40
+        (Mach_core.Lock_stats.acquisitions st))
+
+let test_uniprocessor_mode () =
+  in_sim (fun () ->
+      K.Slock.set_uniprocessor true;
+      Fun.protect
+        ~finally:(fun () -> K.Slock.set_uniprocessor false)
+        (fun () ->
+          let l = K.Slock.make () in
+          (* Defined out: lock/unlock are no-ops, try always succeeds. *)
+          K.Slock.lock l;
+          K.Slock.lock l;
+          check_bool "try under up mode" true (K.Slock.try_lock l);
+          K.Slock.unlock l))
+
+let test_lock_both_by_uid_no_deadlock () =
+  (* Two threads locking the same pair in opposite argument orders must
+     never deadlock thanks to uid ordering (section 5). *)
+  let v =
+    Explore.run ~cpus:2
+      ~seeds:(List.init 40 (fun i -> i + 1))
+      (fun () ->
+        let a = K.Slock.make ~name:"a" () in
+        let b = K.Slock.make ~name:"b" () in
+        let t1 =
+          Engine.spawn (fun () ->
+              for _ = 1 to 5 do
+                K.Order.lock_both_by_uid a b;
+                Engine.pause ();
+                K.Order.unlock_both a b
+              done)
+        in
+        let t2 =
+          Engine.spawn (fun () ->
+              for _ = 1 to 5 do
+                K.Order.lock_both_by_uid b a;
+                Engine.pause ();
+                K.Order.unlock_both b a
+              done)
+        in
+        Engine.join t1;
+        Engine.join t2)
+  in
+  check_bool "no deadlocks" true (Explore.all_completed v)
+
+let test_opposite_order_deadlocks () =
+  (* The anti-test: naive opposite-order acquisition must deadlock on some
+     schedule, and the engine must find it. *)
+  match
+    Explore.find_first_deadlock ~cpus:2 ~max_seeds:100 (fun () ->
+        let a = K.Slock.make ~name:"a" () in
+        let b = K.Slock.make ~name:"b" () in
+        let t1 =
+          Engine.spawn (fun () ->
+              K.Slock.lock a;
+              Engine.pause ();
+              K.Slock.lock b;
+              K.Slock.unlock b;
+              K.Slock.unlock a)
+        in
+        let t2 =
+          Engine.spawn (fun () ->
+              K.Slock.lock b;
+              Engine.pause ();
+              K.Slock.lock a;
+              K.Slock.unlock a;
+              K.Slock.unlock b)
+        in
+        Engine.join t1;
+        Engine.join t2)
+  with
+  | Some (_seed, report) ->
+      check_bool "report shows spinning" true (contains report "spinning")
+  | None -> Alcotest.fail "opposite-order locking should deadlock somewhere"
+
+let test_backout_protocol_never_deadlocks () =
+  (* Same conflict, resolved with the section 5 backout protocol. *)
+  let v =
+    Explore.run ~cpus:2
+      ~seeds:(List.init 40 (fun i -> i + 1))
+      (fun () ->
+        let a = K.Slock.make ~name:"a" () in
+        let b = K.Slock.make ~name:"b" () in
+        let t1 =
+          Engine.spawn (fun () ->
+              for _ = 1 to 3 do
+                K.Slock.lock a;
+                Engine.pause ();
+                K.Slock.lock b;
+                K.Slock.unlock b;
+                K.Slock.unlock a
+              done)
+        in
+        let t2 =
+          Engine.spawn (fun () ->
+              for _ = 1 to 3 do
+                (* usual order is a-then-b; t2 wants b-then-a, so it uses
+                   the backout protocol *)
+                ignore (K.Order.backout_lock_pair ~first:b ~second:a);
+                Engine.pause ();
+                K.Slock.unlock a;
+                K.Slock.unlock b
+              done)
+        in
+        Engine.join t1;
+        Engine.join t2)
+  in
+  check_bool "no deadlocks with backout" true (Explore.all_completed v)
+
+let test_order_checker_flags_violation () =
+  in_sim (fun () ->
+      K.Order.clear_violations ();
+      let map_cls = K.Order.define_class ~name:"map" ~rank:1 in
+      let obj_cls = K.Order.define_class ~name:"object" ~rank:2 in
+      (* correct order: no violation *)
+      K.Order.note_acquire map_cls;
+      K.Order.note_acquire obj_cls;
+      K.Order.note_release obj_cls;
+      K.Order.note_release map_cls;
+      check_int "no violations yet" 0 (List.length (K.Order.violations ()));
+      (* wrong order *)
+      K.Order.note_acquire obj_cls;
+      K.Order.note_acquire map_cls;
+      K.Order.note_release map_cls;
+      K.Order.note_release obj_cls;
+      check_int "violation recorded" 1 (List.length (K.Order.violations ()));
+      K.Order.clear_violations ())
+
+let () =
+  Alcotest.run "simple_lock"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "lock/unlock" `Quick test_basic_lock_unlock;
+          Alcotest.test_case "try_lock" `Quick test_try_lock;
+          Alcotest.test_case "all spin protocols" `Quick
+            test_all_protocols_acquire;
+          Alcotest.test_case "stats" `Quick test_contention_counted;
+          Alcotest.test_case "uniprocessor compile-out" `Quick
+            test_uniprocessor_mode;
+        ] );
+      ( "design rules",
+        [
+          Alcotest.test_case "unlock by non-holder" `Quick
+            test_unlock_by_non_holder_panics;
+          Alcotest.test_case "no recursion" `Quick
+            test_recursive_simple_lock_panics;
+          Alcotest.test_case "same-spl rule" `Quick
+            test_same_spl_rule_enforced;
+          Alcotest.test_case "spl pin at creation" `Quick
+            test_spl_pinned_at_creation;
+        ] );
+      ( "exploration",
+        [
+          Alcotest.test_case "mutual exclusion" `Slow
+            test_mutual_exclusion_explored;
+          Alcotest.test_case "uid-ordered pair never deadlocks" `Quick
+            test_lock_both_by_uid_no_deadlock;
+          Alcotest.test_case "opposite order deadlocks" `Quick
+            test_opposite_order_deadlocks;
+          Alcotest.test_case "backout protocol safe" `Quick
+            test_backout_protocol_never_deadlocks;
+          Alcotest.test_case "order checker" `Quick
+            test_order_checker_flags_violation;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+(* Spl lattice laws, including qcheck properties. *)
+
+module Spl = Mach_core.Spl
+
+let arb_spl =
+  QCheck.make
+    ~print:(fun s -> Spl.to_string s)
+    (QCheck.Gen.oneofl Spl.all)
+
+let prop name gen f = QCheck.Test.make ~count:200 ~name gen f
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop "rank/of_rank roundtrip" arb_spl (fun s ->
+          Spl.equal (Spl.of_rank (Spl.rank s)) s);
+      prop "compare total order agrees with rank" (QCheck.pair arb_spl arb_spl)
+        (fun (a, b) -> compare (Spl.rank a) (Spl.rank b) = Spl.compare a b);
+      prop "max is upper bound" (QCheck.pair arb_spl arb_spl) (fun (a, b) ->
+          Spl.(a <= max a b) && Spl.(b <= max a b));
+      prop "min is lower bound" (QCheck.pair arb_spl arb_spl) (fun (a, b) ->
+          Spl.(min a b <= a) && Spl.(min a b <= b));
+      prop "masks iff level <= at" (QCheck.pair arb_spl arb_spl)
+        (fun (at, level) ->
+          Spl.masks ~at level = (Spl.rank level <= Spl.rank at));
+      prop "masking is monotone in at" (QCheck.pair arb_spl arb_spl)
+        (fun (a, b) ->
+          let lo = Spl.min a b and hi = Spl.max a b in
+          List.for_all
+            (fun l -> (not (Spl.masks ~at:lo l)) || Spl.masks ~at:hi l)
+            Spl.all);
+    ]
+
+let unit_cases =
+  [
+    Alcotest.test_case "all is sorted by rank" `Quick (fun () ->
+        let ranks = List.map Spl.rank Spl.all in
+        Alcotest.(check (list int)) "ranks" [ 0; 1; 2; 3; 4; 5; 6 ] ranks);
+    Alcotest.test_case "spl0 masks nothing above it" `Quick (fun () ->
+        List.iter
+          (fun l ->
+            if not (Spl.equal l Spl.Spl0) then
+              Alcotest.(check bool)
+                (Spl.to_string l ^ " delivered at spl0")
+                false
+                (Spl.masks ~at:Spl.Spl0 l))
+          Spl.all);
+    Alcotest.test_case "splhigh masks everything" `Quick (fun () ->
+        List.iter
+          (fun l ->
+            Alcotest.(check bool)
+              (Spl.to_string l ^ " masked at splhigh")
+              true
+              (Spl.masks ~at:Spl.Splhigh l))
+          Spl.all);
+    Alcotest.test_case "to_string unique" `Quick (fun () ->
+        let names = List.map Spl.to_string Spl.all in
+        Alcotest.(check int)
+          "distinct" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+  ]
+
+let () =
+  Alcotest.run "spl" [ ("laws", unit_cases); ("properties", qcheck_cases) ]
