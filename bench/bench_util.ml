@@ -40,6 +40,69 @@ let f2 x = Printf.sprintf "%.2f" x
 let i = string_of_int
 
 (* ------------------------------------------------------------------ *)
+(* Observability: per-experiment latency percentiles + contention       *)
+(* ------------------------------------------------------------------ *)
+
+module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_profile = Mach_obs.Obs_profile
+module Obs_histogram = Mach_obs.Obs_histogram
+module Obs_json = Mach_obs.Obs_json
+
+(* The metrics registry and contention profiler are process-global; the
+   driver resets them before each experiment so each section reports that
+   experiment's runs only. *)
+let obs_reset () =
+  Obs_metrics.reset ();
+  Obs_profile.reset ()
+
+let latency_histograms =
+  [
+    "lock.wait_cycles";
+    "lock.hold_cycles";
+    "event.wait_cycles";
+    "tlb.shootdown_cycles";
+  ]
+
+let obs_section ~id () =
+  printf "\n%s observability (cycles):\n" id;
+  let rows =
+    List.filter_map
+      (fun name ->
+        let h = Obs_metrics.merged (Obs_metrics.histogram name) in
+        if Obs_histogram.count h = 0 then None
+        else
+          Some
+            [
+              name;
+              i (Obs_histogram.count h);
+              i (Obs_histogram.percentile h 50.);
+              i (Obs_histogram.percentile h 90.);
+              i (Obs_histogram.percentile h 99.);
+              i (Obs_histogram.max_value h);
+            ])
+      latency_histograms
+  in
+  if rows = [] then printf "(no lock or event activity recorded)\n"
+  else table ~header:[ "histogram"; "n"; "p50"; "p90"; "p99"; "max" ] rows;
+  match Obs_profile.top ~n:3 with
+  | [] -> ()
+  | top ->
+      printf "\n";
+      table
+        ~header:[ "top lock class"; "acquires"; "contended"; "wait-cycles" ]
+        (List.map
+           (fun (c : Obs_profile.class_stats) ->
+             [ c.cls; i c.acquisitions; i c.contended; i c.wait_cycles ])
+           top)
+
+let obs_json () =
+  Obs_json.Obj
+    [
+      ("metrics", Obs_metrics.to_json ());
+      ("profile", Obs_profile.to_json ());
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: native per-operation costs                                 *)
 (* ------------------------------------------------------------------ *)
 

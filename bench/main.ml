@@ -885,13 +885,24 @@ let () =
     | _ :: (_ :: _ as ids) -> ids
     | _ -> List.map fst experiments
   in
+  let obs = ref [] in
   List.iter
     (fun id ->
       match List.assoc_opt id experiments with
-      | Some run -> run ()
+      | Some run ->
+          obs_reset ();
+          run ();
+          obs_section ~id ();
+          obs := (id, obs_json ()) :: !obs
       | None ->
           Printf.eprintf "unknown experiment %s (known: %s)\n" id
             (String.concat " " (List.map fst experiments));
           exit 1)
     requested;
-  Printf.printf "\nAll requested experiments completed.\n"
+  let out = "BENCH_observability.json" in
+  let oc = open_out out in
+  output_string oc (Obs_json.to_string (Obs_json.Obj (List.rev !obs)));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nper-experiment observability written to %s\n" out;
+  Printf.printf "All requested experiments completed.\n"

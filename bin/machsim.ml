@@ -3,12 +3,17 @@
    Subcommands:
      run       -- run a named scenario once and print the run statistics
      explore   -- run a scenario across many schedule seeds, tally outcomes
-     trace     -- run a scenario with event tracing and dump the trace *)
+     trace     -- run a scenario with event tracing and dump the trace
+                  (or export it as Chrome trace-event JSON with --out)
+     profile   -- run a scenario and print the lock contention profile *)
 
 module Engine = Mach_sim.Sim_engine
 module Config = Mach_sim.Sim_config
 module Explore = Mach_sim.Sim_explore
 module Trace = Mach_sim.Sim_trace
+module Obs_json = Mach_obs.Obs_json
+module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_profile = Mach_obs.Obs_profile
 module Scenarios = Mach_kernel.Scenarios
 module Kernel = Mach_kernel.Kernel
 module Vm = Mach_vm
@@ -38,6 +43,45 @@ let pageable_scenario ~use_recursive () =
   | Error _ -> Engine.fatal "wire failed");
   Vm.Vm_pageout.stop_daemon daemon;
   Vm.Vm_map.release map
+
+(* TLB shootdown barrier (adapted from bench E10): victims on every other
+   cpu activate the pmap and spin at spl0; the initiator's removals must
+   rendezvous with all of them at interrupt level. *)
+let shootdown_scenario () =
+  let pm = Vm.Pmap.create () in
+  (* On a uniprocessor there is nobody to shoot down: the removals still
+     run (local invalidates only) rather than waiting forever for a victim
+     that can never be dispatched. *)
+  let participants = max 0 (Engine.cpu_count () - 1) in
+  let removals = 8 in
+  let stop = Engine.Cell.make 0 in
+  let victims =
+    List.init participants (fun k ->
+        let cpu = k + 1 in
+        Engine.spawn ~name:(Printf.sprintf "victim%d" cpu) ~bound:cpu
+          (fun () ->
+            Vm.Pmap.activate pm ~cpu;
+            Engine.spin_hint "stop";
+            while Engine.Cell.get stop = 0 do
+              Engine.pause ()
+            done))
+  in
+  let initiator =
+    Engine.spawn ~name:"initiator" ~bound:0 (fun () ->
+        for j = 0 to removals - 1 do
+          Vm.Pmap.enter pm ~va:(0x1000 + j) ~ppn:j ~prot:Vm.Tlb.Read_write
+        done;
+        Engine.spin_hint "activation";
+        while List.length (Vm.Pmap.active_cpus pm) < participants do
+          Engine.pause ()
+        done;
+        for j = 0 to removals - 1 do
+          ignore (Vm.Pmap.remove pm ~va:(0x1000 + j))
+        done;
+        Engine.Cell.set stop 1)
+  in
+  Engine.join initiator;
+  List.iter Engine.join victims
 
 let scenarios : (string * (string * (unit -> unit))) list =
   [
@@ -98,6 +142,9 @@ let scenarios : (string * (string * (unit -> unit))) list =
     ( "wire-rewritten",
       ( "the Mach 3.0 vm_map_pageable rewrite vs pageout (deadlock-free)",
         pageable_scenario ~use_recursive:false ) );
+    ( "shootdown",
+      ( "TLB shootdowns: pmap removals rendezvous with every other cpu",
+        shootdown_scenario ) );
   ]
 
 let scenario_names = List.map fst scenarios
@@ -199,34 +246,142 @@ let explore_cmd =
           deadlocks and panics.")
     term
 
+(* Write the Chrome trace-event document, then re-read and parse it: the
+   exporter validates its own output, so a malformed document fails loudly
+   here rather than in chrome://tracing. *)
+let export_chrome_trace ~out events =
+  let doc = Trace.chrome_json events in
+  match
+    let oc = open_out out in
+    output_string oc (Obs_json.to_string doc);
+    output_char oc '\n';
+    close_out oc
+  with
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot write trace (%s)\n" msg;
+      1
+  | () ->
+  (
+  let ic = open_in_bin out in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match Obs_json.of_string text with
+  | Error msg ->
+      Printf.eprintf "trace JSON INVALID (%s): %s\n" out msg;
+      1
+  | Ok doc -> (
+      match Obs_json.member "traceEvents" doc with
+      | Some (Obs_json.List evs) ->
+          Printf.printf "trace JSON ok: %d events -> %s\n" (List.length evs)
+            out;
+          0
+      | _ ->
+          Printf.eprintf "trace JSON INVALID (%s): no traceEvents array\n" out;
+          1))
+
 let trace_cmd =
   let limit_arg =
     Arg.(
       value & opt int 60
       & info [ "limit"; "l" ] ~docv:"N" ~doc:"Trace lines to print (tail).")
   in
-  let run scenario cpus seed limit =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Export the full trace as Chrome trace-event JSON (loadable in \
+             chrome://tracing or Perfetto) instead of printing the tail.")
+  in
+  let run scenario cpus seed limit out =
     let cfg = { Config.default with Config.cpus; seed; trace = true } in
     let outcome = Engine.run_outcome ~cfg (lookup_scenario scenario) in
     let events = Engine.trace_events () in
-    let total = List.length events in
-    let tail =
-      if total <= limit then events
-      else
-        List.filteri (fun idx _ -> idx >= total - limit) events
+    let status =
+      match out with
+      | Some out -> export_chrome_trace ~out events
+      | None ->
+          let total = List.length events in
+          let tail =
+            if total <= limit then events
+            else List.filteri (fun idx _ -> idx >= total - limit) events
+          in
+          List.iter (fun e -> Format.printf "%a@." Trace.pp_event e) tail;
+          Format.printf "(%d of %d events shown)@." (List.length tail) total;
+          0
     in
-    List.iter (fun e -> Format.printf "%a@." Trace.pp_event e) tail;
-    Format.printf "(%d of %d events shown)@." (List.length tail) total;
     (match outcome with
     | Engine.Completed stats -> Format.printf "completed: %a@." Engine.pp_stats stats
     | Engine.Deadlocked (_, r) -> Format.printf "deadlocked:@.%s@." r
     | Engine.Panicked m -> Format.printf "panicked: %s@." m
     | Engine.Hit_step_limit -> Format.printf "step limit@.");
-    0
+    status
   in
-  let term = Term.(const run $ scenario_arg $ cpus_arg $ seed_arg $ limit_arg) in
+  let term =
+    Term.(const run $ scenario_arg $ cpus_arg $ seed_arg $ limit_arg $ out_arg)
+  in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run a scenario with event tracing and dump the tail.")
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario with event tracing and dump the tail (or export \
+          Chrome trace-event JSON with --out).")
+    term
+
+let profile_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top"; "t" ] ~docv:"N" ~doc:"Lock classes to show.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the profile and metrics registry as JSON instead of text.")
+  in
+  let run scenario cpus seed top json =
+    (* Profile state is global and survives previous runs in this process;
+       start from a clean slate so the report covers this scenario only. *)
+    Obs_profile.reset ();
+    Obs_metrics.reset ();
+    let cfg = { Config.default with Config.cpus; seed } in
+    let outcome = Engine.run_outcome ~cfg (lookup_scenario scenario) in
+    if json then
+      print_endline
+        (Obs_json.to_string
+           (Obs_json.Obj
+              [
+                ("scenario", Obs_json.String scenario);
+                ("profile", Obs_profile.to_json ());
+                ("metrics", Obs_metrics.to_json ());
+              ]))
+    else begin
+      Format.printf "%a@." (fun ppf () -> Obs_profile.pp_report ~top_n:top ppf ()) ();
+      Format.printf "metrics:@.%a" Obs_metrics.pp ()
+    end;
+    match outcome with
+    | Engine.Completed _ -> 0
+    | Engine.Deadlocked (_, r) ->
+        Format.printf "deadlocked:@.%s@." r;
+        1
+    | Engine.Panicked m ->
+        Format.printf "panicked: %s@." m;
+        1
+    | Engine.Hit_step_limit ->
+        Format.printf "step limit@.";
+        1
+  in
+  let term =
+    Term.(const run $ scenario_arg $ cpus_arg $ seed_arg $ top_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a scenario and print the lock contention profile (top classes \
+          by wait cycles, first-attempt rates, waits-for edges) and the \
+          metrics registry.")
     term
 
 let list_cmd =
@@ -239,4 +394,7 @@ let list_cmd =
 let () =
   let doc = "Drive the simulated Mach multiprocessor (locking/refcount repro)." in
   let info = Cmd.info "machsim" ~version:"1.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; explore_cmd; trace_cmd; list_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; explore_cmd; trace_cmd; profile_cmd; list_cmd ]))

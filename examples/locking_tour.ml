@@ -136,7 +136,15 @@ let checker_catches_bugs () =
          K.Slock.lock l;
          ignore (K.Ref.release r)))
 
+(* Everything above also fed the process-global contention profiler; end
+   the tour with its report (the `machsim profile` subcommand prints the
+   same table for any scenario). *)
+let contention_profile () =
+  section "Contention profile (machsim profile)";
+  Format.printf "%a@." (Mach_obs.Obs_profile.pp_report ~top_n:8) ()
+
 let () =
+  Mach_obs.Obs_profile.reset ();
   let cfg = { Config.default with Config.cpus = 4; seed = 7 } in
   ignore
     (Engine.run ~cfg (fun () ->
@@ -145,4 +153,5 @@ let () =
          event_wait ();
          refcount_and_deactivation ()));
   checker_catches_bugs ();
+  contention_profile ();
   say "\nTour complete."

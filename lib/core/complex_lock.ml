@@ -1,10 +1,21 @@
 module Tls_key = Machine_intf.Tls_key
+module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_profile = Mach_obs.Obs_profile
+module Obs_trace = Mach_obs.Obs_trace
+module Obs_event = Mach_obs.Obs_event
 
 module Make
     (M : Machine_intf.MACHINE)
     (Slock : module type of Simple_lock.Make (M))
     (E : module type of Event.Make (M) (Slock)) =
 struct
+  (* Same named metrics as the simple locks: interning is idempotent, so
+     complex-lock waits land in the same "lock.*" aggregates. *)
+  let m_acquisitions = Obs_metrics.counter "lock.acquisitions"
+  let m_contentions = Obs_metrics.counter "lock.contentions"
+  let h_wait = Obs_metrics.histogram "lock.wait_cycles"
+  let h_hold = Obs_metrics.histogram "lock.hold_cycles"
+
   type t = {
     interlock : Slock.t; (* protects every mutable field below *)
     event : E.event;
@@ -20,6 +31,7 @@ struct
     mutable recursion_depth : int; (* write re-acquisitions beyond first *)
     mutable recursive_reads : int; (* read acquisitions by the recursive holder *)
     mutable writers_priority : bool; (* ablation switch, default true *)
+    mutable write_acquired_at : int; (* cycle clock when the writer got in *)
   }
 
   let next_id = Atomic.make 0
@@ -44,10 +56,36 @@ struct
       recursion_depth = 0;
       recursive_reads = 0;
       writers_priority = true;
+      write_acquired_at = 0;
     }
     |> fun t ->
     t.can_sleep <- can_sleep;
     t
+
+  (* [waits] is the number of [lock_wait] rounds the acquisition took;
+     contended iff at least one. *)
+  let obs_acquire t ~waits ~wait_cycles =
+    let cpu = M.current_cpu () in
+    Obs_metrics.incr ~cpu m_acquisitions;
+    if waits > 0 then Obs_metrics.incr ~cpu m_contentions;
+    Obs_metrics.observe ~cpu h_wait wait_cycles;
+    Obs_profile.note_acquire
+      ~tid:(M.thread_id (M.self ()))
+      ~name:t.lname ~contended:(waits > 0) ~wait_cycles;
+    if Obs_trace.enabled () then
+      Obs_trace.emit
+        (Obs_event.Lock_acquire { lock = t.lname; spins = waits; wait_cycles })
+
+  (* [held_cycles = 0] means "unknown" (read holds are not individually
+     timed); it still balances the profiler's held stack. *)
+  let obs_release t ~held_cycles =
+    if held_cycles > 0 then
+      Obs_metrics.observe ~cpu:(M.current_cpu ()) h_hold held_cycles;
+    Obs_profile.note_release
+      ~tid:(M.thread_id (M.self ()))
+      ~name:t.lname ~held_cycles;
+    if Obs_trace.enabled () then
+      Obs_trace.emit (Obs_event.Lock_release { lock = t.lname; held_cycles })
 
   let self_is t holder =
     match holder with
@@ -110,18 +148,25 @@ struct
                option (deadlock)"
               t.lname)
        end);
+      let t0 = M.now_cycles () in
+      let waits = ref 0 in
       (* Claim the writer slot: wait out other writers and upgraders. *)
       while t.want_write || t.want_upgrade do
+        incr waits;
         lock_wait t
       done;
       t.want_write <- true;
       (* Drain readers; defer to a pending upgrade (upgrades are favored
          over writes to avoid deadlocked upgrades, section 4). *)
       while t.read_count > 0 || t.want_upgrade do
+        incr waits;
         lock_wait t
       done;
       t.writer <- Some (M.self ());
+      t.write_acquired_at <- M.now_cycles ();
       Lock_stats.record_write t.stats;
+      obs_acquire t ~waits:!waits
+        ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0);
       bump_spin_held t 1;
       Slock.unlock t.interlock
     end
@@ -141,11 +186,16 @@ struct
         if t.writers_priority then t.want_write || t.want_upgrade
         else t.writer <> None
       in
+      let t0 = M.now_cycles () in
+      let waits = ref 0 in
       while excluded () do
+        incr waits;
         lock_wait t
       done;
       t.read_count <- t.read_count + 1;
       Lock_stats.record_read t.stats;
+      obs_acquire t ~waits:!waits
+        ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0);
       bump_spin_held t 1;
       Slock.unlock t.interlock
     end
@@ -166,6 +216,7 @@ struct
       Lock_stats.record_upgrade t.stats ~success:false;
       if t.read_count = 0 then lock_wakeup t;
       bump_spin_held t (-1);
+      obs_release t ~held_cycles:0;
       Slock.unlock t.interlock;
       true
     end
@@ -175,6 +226,7 @@ struct
         lock_wait t
       done;
       t.writer <- Some (M.self ());
+      t.write_acquired_at <- M.now_cycles ();
       Lock_stats.record_upgrade t.stats ~success:true;
       Slock.unlock t.interlock;
       false
@@ -200,6 +252,12 @@ struct
     else t.want_write <- false;
     t.writer <- None;
     Lock_stats.record_downgrade t.stats;
+    (* The write portion of the hold ends here; the (untimed) read hold
+       keeps the profiler's held-stack entry. *)
+    Obs_metrics.observe
+      ~cpu:(M.current_cpu ())
+      h_hold
+      (max 0 (M.now_cycles () - t.write_acquired_at));
     lock_wakeup t;
     Slock.unlock t.interlock
 
@@ -211,19 +269,24 @@ struct
         (* A recursive read release: the matching acquisition did not count
            towards the spin-held balance. *)
         t.recursive_reads <- t.recursive_reads - 1
-      else bump_spin_held t (-1)
+      else begin
+        bump_spin_held t (-1);
+        obs_release t ~held_cycles:0
+      end
     end
     else if self_is t t.writer && t.recursion_depth > 0 then
       t.recursion_depth <- t.recursion_depth - 1
     else if t.want_upgrade then begin
       t.want_upgrade <- false;
       t.writer <- None;
-      bump_spin_held t (-1)
+      bump_spin_held t (-1);
+      obs_release t ~held_cycles:(max 0 (M.now_cycles () - t.write_acquired_at))
     end
     else if t.want_write then begin
       t.want_write <- false;
       t.writer <- None;
-      bump_spin_held t (-1)
+      bump_spin_held t (-1);
+      obs_release t ~held_cycles:(max 0 (M.now_cycles () - t.write_acquired_at))
     end
     else begin
       Slock.unlock t.interlock;
@@ -247,6 +310,7 @@ struct
       else begin
         t.read_count <- t.read_count + 1;
         Lock_stats.record_read t.stats;
+        obs_acquire t ~waits:0 ~wait_cycles:0;
         bump_spin_held t 1;
         true
       end
@@ -267,7 +331,9 @@ struct
       else begin
         t.want_write <- true;
         t.writer <- Some (M.self ());
+        t.write_acquired_at <- M.now_cycles ();
         Lock_stats.record_write t.stats;
+        obs_acquire t ~waits:0 ~wait_cycles:0;
         bump_spin_held t 1;
         true
       end
@@ -293,6 +359,7 @@ struct
         lock_wait t
       done;
       t.writer <- Some (M.self ());
+      t.write_acquired_at <- M.now_cycles ();
       Lock_stats.record_upgrade t.stats ~success:true;
       Lock_stats.record_try t.stats ~success:true;
       Slock.unlock t.interlock;

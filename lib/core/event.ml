@@ -1,4 +1,7 @@
 module Tls_key = Machine_intf.Tls_key
+module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_trace = Mach_obs.Obs_trace
+module Obs_event = Mach_obs.Obs_event
 
 type wait_result = Awakened | Cleared | Interrupted | Restart
 
@@ -16,6 +19,8 @@ module Make
 struct
   type event = int
 
+  let h_wait = Obs_metrics.histogram "event.wait_cycles"
+
   let null_event = 0
   let event_counter = Atomic.make 1
   let fresh_event () = Atomic.fetch_and_add event_counter 1
@@ -29,6 +34,7 @@ struct
     mutable event : event option;
     mutable state : wstate;
     mutable interruptible : bool;
+    mutable wait_started : int; (* cycle clock at assert_wait *)
   }
 
   and wstate = Running | Waiting | Woken of wait_result
@@ -61,7 +67,13 @@ struct
         | Some w -> w
         | None ->
             let w =
-              { thread; event = None; state = Running; interruptible = false }
+              {
+                thread;
+                event = None;
+                state = Running;
+                interruptible = false;
+                wait_started = 0;
+              }
             in
             Hashtbl.add registry tid w;
             w)
@@ -87,8 +99,11 @@ struct
     w.event <- Some ev;
     w.state <- Waiting;
     w.interruptible <- interruptible;
+    w.wait_started <- M.now_cycles ();
     b.waiters <- b.waiters @ [ w ];
     Slock.unlock b.block;
+    if Obs_trace.enabled () then
+      Obs_trace.emit (Obs_event.Event_wait { event = ev });
     set_in_assert_wait true
 
   let check_no_simple_locks what =
@@ -123,6 +138,10 @@ struct
       | Woken r ->
           w.state <- Running;
           set_in_assert_wait false;
+          Obs_metrics.observe
+            ~cpu:(M.current_cpu ())
+            h_wait
+            (max 0 (M.now_cycles () - w.wait_started));
           r
       | Waiting ->
           M.park ();
@@ -179,7 +198,10 @@ struct
         M.unpark w.thread)
       matching;
     Slock.unlock b.block;
-    List.length matching
+    let woken = List.length matching in
+    if Obs_trace.enabled () then
+      Obs_trace.emit (Obs_event.Event_signal { event = ev; woken });
+    woken
 
   let thread_wakeup_one ?(result = Awakened) ev =
     let b = bucket_of ev in
@@ -197,6 +219,9 @@ struct
       | None -> false
     in
     Slock.unlock b.block;
+    if Obs_trace.enabled () then
+      Obs_trace.emit
+        (Obs_event.Event_signal { event = ev; woken = (if woke then 1 else 0) });
     woke
 
   let clear_wait_gen thread result ~only_interruptible =

@@ -1,4 +1,6 @@
 module Tls_key = Machine_intf.Tls_key
+module Obs_trace = Mach_obs.Obs_trace
+module Obs_event = Mach_obs.Obs_event
 
 module Make
     (M : Machine_intf.MACHINE)
@@ -61,6 +63,8 @@ struct
       M.fatal
         (Printf.sprintf "refcount %s: release with count %d (double free)"
            t.rname old);
+    if Obs_trace.enabled () then
+      Obs_trace.emit (Obs_event.Refcount_drop { name = t.rname; count = old - 1 });
     old
 
   let release t =

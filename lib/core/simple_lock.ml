@@ -1,7 +1,18 @@
 module Tls_key = Machine_intf.Tls_key
+module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_profile = Mach_obs.Obs_profile
+module Obs_trace = Mach_obs.Obs_trace
+module Obs_event = Mach_obs.Obs_event
 
 module Make (M : Machine_intf.MACHINE) = struct
   module S = Spin.Make (M)
+
+  (* Registry-wide aggregates (interned once per machine instantiation);
+     every simple lock of this machine feeds the same named metrics. *)
+  let m_acquisitions = Obs_metrics.counter "lock.acquisitions"
+  let m_contentions = Obs_metrics.counter "lock.contentions"
+  let h_wait = Obs_metrics.histogram "lock.wait_cycles"
+  let h_hold = Obs_metrics.histogram "lock.hold_cycles"
 
   type t = {
     id : int;
@@ -55,11 +66,31 @@ module Make (M : Machine_intf.MACHINE) = struct
                 %s (same-spl rule, paper section 7)"
                t.lname (Spl.to_string spl) (Spl.to_string expected))
 
+  let obs_acquire t ~spins ~wait_cycles =
+    let cpu = M.current_cpu () in
+    Obs_metrics.incr ~cpu m_acquisitions;
+    if spins > 0 then Obs_metrics.incr ~cpu m_contentions;
+    Obs_metrics.observe ~cpu h_wait wait_cycles;
+    Obs_profile.note_acquire
+      ~tid:(M.thread_id (M.self ()))
+      ~name:t.lname ~contended:(spins > 0) ~wait_cycles;
+    if Obs_trace.enabled () then
+      Obs_trace.emit
+        (Obs_event.Lock_acquire { lock = t.lname; spins; wait_cycles })
+
+  let obs_release t ~held_cycles =
+    Obs_metrics.observe ~cpu:(M.current_cpu ()) h_hold held_cycles;
+    Obs_profile.note_release
+      ~tid:(M.thread_id (M.self ()))
+      ~name:t.lname ~held_cycles;
+    if Obs_trace.enabled () then
+      Obs_trace.emit (Obs_event.Lock_release { lock = t.lname; held_cycles })
+
   let note_acquired t =
+    t.acquired_at <- M.now_cycles ();
     if checking () then begin
       check_spl t;
       t.holder <- Some (M.self ());
-      t.acquired_at <- M.now_cycles ();
       bump_held 1
     end
 
@@ -93,15 +124,20 @@ module Make (M : Machine_intf.MACHINE) = struct
                   t.lname
                   (M.thread_name h))
          | _ -> ());
+      let t0 = M.now_cycles () in
       let spins = S.acquire ~hint:t.lname t.protocol t.cell in
+      let wait_cycles = if spins > 0 then max 0 (M.now_cycles () - t0) else 0 in
       Lock_stats.record_acquire t.stats ~contended:(spins > 0) ~spins;
+      obs_acquire t ~spins ~wait_cycles;
       note_acquired t
     end
 
   let unlock t =
     if not (Atomic.get uniprocessor) then begin
+      let held_cycles = max 0 (M.now_cycles () - t.acquired_at) in
       note_released t;
-      S.release t.cell
+      S.release t.cell;
+      obs_release t ~held_cycles
     end
 
   let try_lock t =
@@ -111,6 +147,7 @@ module Make (M : Machine_intf.MACHINE) = struct
       Lock_stats.record_try t.stats ~success:ok;
       if ok then begin
         Lock_stats.record_acquire t.stats ~contended:false ~spins:0;
+        obs_acquire t ~spins:0 ~wait_cycles:0;
         note_acquired t
       end;
       ok

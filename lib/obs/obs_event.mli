@@ -1,0 +1,49 @@
+(** Typed trace events.
+
+    The simulator's trace used to carry [tag : string] + [detail : string];
+    this variant replaces it with structured payloads so exporters (the
+    Chrome trace-event writer, the contention profiler) can consume events
+    without re-parsing strings.  Interrupt-priority levels and threads are
+    carried as strings to keep this module at the bottom of the dependency
+    stack (everything — core, sim, vm — may emit events).
+
+    [Raw] is the escape hatch for ad-hoc instrumentation and keeps old
+    string-tagged call sites expressible. *)
+
+type t =
+  | Spawn of { thread : string }
+  | Thread_exit of { thread : string }
+  | Park of { thread : string }
+  | Unpark of { thread : string }
+  | Permit of { thread : string }
+  | Dispatch of { thread : string; cpu : int }
+  | Intr_post of { name : string; cpu : int; level : string }
+  | Intr_deliver of { name : string; level : string }
+  | Intr_done of { name : string }
+  | Spl_raise of { from_lvl : string; to_lvl : string }
+  | Cell_set of { cell : string; value : int }
+  | Tas of { cell : string; old_value : int }
+  | Lock_acquire of { lock : string; spins : int; wait_cycles : int }
+  | Lock_release of { lock : string; held_cycles : int }
+  | Event_wait of { event : int }
+  | Event_signal of { event : int; woken : int }
+  | Refcount_drop of { name : string; count : int }
+  | Tlb_shootdown_start of { initiator : int; participants : int; lazies : int }
+  | Tlb_shootdown_done of { participants : int; cycles : int }
+  | Raw of { tag : string; detail : string }
+
+val name : t -> string
+(** Constructor name ("Lock_acquire", "Tlb_shootdown_start", ...); used as
+    the Chrome trace-event name. *)
+
+val tag : t -> string
+(** Back-compat short tag ("spawn", "tas", "spl", ...) matching the old
+    string-tagged trace, so text dumps render as before. *)
+
+val detail : t -> string
+(** Back-compat human-readable detail string. *)
+
+val args : t -> (string * Obs_json.t) list
+(** The structured payload as Chrome trace-event args. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** A minimal JSON value type with a printer and a validating parser.
+
+    Used by the observability layer's exporters (Chrome trace-event files,
+    metrics snapshots, bench summaries) so that [lib/obs] needs no external
+    JSON dependency.  The parser exists so that exporters can round-trip
+    their own output in tests and smoke targets. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] on malformed input or
+    trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up a field; [None] for other constructors. *)

@@ -1,0 +1,57 @@
+(** The kernel-wide metrics registry.
+
+    Named counters, gauges and log-bucketed latency histograms, with
+    per-cpu shards merged at read time.  The paper's Appendix A wraps
+    every simple lock "in a structure to allow the simple addition of
+    debugging and statistics information"; this registry is where that
+    information becomes legible system-wide: {!Lock_stats} mirrors its
+    counters here, and the lock / event / shootdown layers record their
+    latency distributions here (see the well-known names below).
+
+    Names are interned: calling [counter "x"] twice returns the same
+    counter.  Registering a name with two different types raises
+    [Invalid_argument].
+
+    Well-known names populated by the kernel layers:
+    - ["lock.wait_cycles"] — simple+complex lock acquisition wait time
+    - ["lock.hold_cycles"] — simple lock hold time
+    - ["event.wait_cycles"] — assert_wait → wakeup latency
+    - ["tlb.shootdown_cycles"] — shootdown round-trip at the initiator
+    - ["lock.acquisitions"], ["lock.contentions"], ... — the
+      {!Lock_stats} counters aggregated over every lock. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : string -> histogram
+
+(** {1 Updating} ([cpu] selects the shard; defaults to 0) *)
+
+val add : ?cpu:int -> counter -> int -> unit
+val incr : ?cpu:int -> counter -> unit
+val set : gauge -> int -> unit
+val observe : ?cpu:int -> histogram -> int -> unit
+
+(** {1 Reading} (shards are merged at read time) *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+val merged : histogram -> Obs_histogram.t
+val counter_name : counter -> string
+val gauge_name : gauge -> string
+val histogram_name : histogram -> string
+
+(** {1 The whole registry} *)
+
+val reset : unit -> unit
+(** Zero every registered metric (names stay registered). *)
+
+val pp : Format.formatter -> unit -> unit
+(** One line per metric, sorted by name. *)
+
+val to_json : unit -> Obs_json.t
+(** Object keyed by metric name; histograms render as
+    count/sum/mean/min/p50/p90/p99/max objects. *)

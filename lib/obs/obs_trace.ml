@@ -1,0 +1,9 @@
+let sink : (Obs_event.t -> unit) option ref = ref None
+let on = ref false
+
+let set_sink f = sink := f
+let set_enabled b = on := b
+let enabled () = !on && !sink <> None
+
+let emit ev =
+  if !on then match !sink with Some f -> f ev | None -> ()

@@ -1,4 +1,6 @@
 module Spl = Mach_core.Spl
+module Obs_event = Mach_obs.Obs_event
+module Obs_trace = Mach_obs.Obs_trace
 
 type deadlock_kind = Sleep_deadlock | Spin_deadlock
 
@@ -183,17 +185,19 @@ let in_interrupt () =
 
 let productive e = e.stale <- 0
 
-let trace tag detail =
+(* Record unconditionally: a disabled trace counts the discard itself, so
+   "tracing was off" is distinguishable from "the ring overflowed". *)
+let trace ev =
   match !the_engine with
-  | Some e when Sim_trace.enabled e.trace ->
+  | Some e ->
       let step = e.st.m_steps in
       let cpu, context, clock =
         match e.cur with
         | Some (c, f) -> (c.idx, frame_name f, c.clock)
         | None -> (-1, "sched", 0)
       in
-      Sim_trace.record e.trace { step; clock; cpu; context; tag; detail }
-  | _ -> ()
+      Sim_trace.record e.trace ~step ~clock ~cpu ~context ev
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Effects                                                              *)
@@ -230,7 +234,9 @@ let set_spl level =
   | Some (c, _) ->
       let old = c.spl in
       c.spl <- level;
-      trace "spl" (Spl.to_string level);
+      trace
+        (Obs_event.Spl_raise
+           { from_lvl = Spl.to_string old; to_lvl = Spl.to_string level });
       old
   | None ->
       let t = Lazy.force external_identity in
@@ -313,7 +319,7 @@ module Cell = struct
             t.v <- v;
             invalidate t c.idx;
             productive e;
-            trace "set" (Printf.sprintf "%s=%d" t.cname v);
+            trace (Obs_event.Cell_set { cell = t.cname; value = v });
             maybe_preempt e));
     ()
 
@@ -348,7 +354,7 @@ module Cell = struct
 
   let test_and_set t =
     let old = atomic_op t ~stores:(fun _ -> true) (fun _ -> 1) in
-    trace "tas" (Printf.sprintf "%s old=%d" t.cname old);
+    trace (Obs_event.Tas { cell = t.cname; old_value = old });
     old
 
   let compare_and_swap t ~expected ~desired =
@@ -385,7 +391,7 @@ let spawn ?name ?bound f =
   e.live <- e.live + 1;
   e.st.m_spawned <- e.st.m_spawned + 1;
   productive e;
-  trace "spawn" tname;
+  trace (Obs_event.Spawn { thread = tname });
   t
 
 let unpark t =
@@ -400,11 +406,11 @@ let unpark t =
           e.runq <- e.runq @ [ t ];
           e.st.m_unparks <- e.st.m_unparks + 1;
           productive e;
-          trace "unpark" t.tname
+          trace (Obs_event.Unpark { thread = t.tname })
       | Runnable ->
           t.permits <- t.permits + 1;
           productive e;
-          trace "permit" t.tname
+          trace (Obs_event.Permit { thread = t.tname })
       | Dead -> ())
 
 let park () =
@@ -428,7 +434,7 @@ let park () =
   else begin
     e.st.m_parks <- e.st.m_parks + 1;
     productive e;
-    trace "park" t.tname;
+    trace (Obs_event.Park { thread = t.tname });
     Effect.perform Park_eff
   end
 
@@ -463,8 +469,7 @@ let post_interrupt ?(name = "ipi") ~cpu ~level handler =
   let c = e.cpus.(cpu) in
   c.pending <- c.pending @ [ i ];
   productive e;
-  trace "post-intr" (Printf.sprintf "%s -> cpu%d at %s" name cpu
-                       (Spl.to_string level))
+  trace (Obs_event.Intr_post { name; cpu; level = Spl.to_string level })
 
 let pending_interrupts ~cpu =
   let e = eng_exn () in
@@ -502,12 +507,12 @@ let finish_frame e (c : cpu) (f : frame) =
       t.on_cpu <- -1;
       e.live <- e.live - 1;
       c.spl <- Spl.Spl0;
-      trace "exit" t.tname;
+      trace (Obs_event.Thread_exit { thread = t.tname });
       List.iter unpark t.joiners;
       t.joiners <- []
   | Fintr i ->
       c.spl <- i.isaved_spl;
-      trace "intr-done" i.iname
+      trace (Obs_event.Intr_done { name = i.iname })
 
 (* The handler closures must find the *current* cpu and frame at effect
    time (from [e.cur], which [resume] maintains): a thread that parks and
@@ -618,7 +623,9 @@ let deliver e c =
       e.st.m_intrs <- e.st.m_intrs + 1;
       productive e;
       e.cur <- Some (c, Fintr i);
-      trace "intr" (Printf.sprintf "%s at %s" i.iname (Spl.to_string i.ilevel));
+      trace
+        (Obs_event.Intr_deliver
+           { name = i.iname; level = Spl.to_string i.ilevel });
       e.cur <- None
 
 let dispatch e c =
@@ -639,7 +646,7 @@ let dispatch e c =
       c.frames <- [ Fthread t ];
       e.st.m_switches <- e.st.m_switches + 1;
       productive e;
-      trace "dispatch" (Printf.sprintf "%s on cpu%d" t.tname c.idx)
+      trace (Obs_event.Dispatch { thread = t.tname; cpu = c.idx })
 
 let all_threads_report e =
   let buf = Buffer.create 256 in
@@ -785,7 +792,9 @@ let run ?(cfg = Sim_config.default) main =
       live = 0;
       stale = 0;
       bus_free_at = 0;
-      trace = Sim_trace.make ~capacity:cfg.trace_capacity ~enabled:cfg.trace;
+      trace =
+        Sim_trace.make ~cpus:cfg.cpus ~capacity:cfg.trace_capacity
+          ~enabled:cfg.trace ();
       st =
         {
           m_steps = 0;
@@ -808,8 +817,14 @@ let run ?(cfg = Sim_config.default) main =
   in
   thread_counter_per_run := 0;
   the_engine := Some e;
+  (* Core layers (locks, events, refcounts) emit typed events through the
+     global [Obs_trace] sink without knowing about the engine; route them
+     into this run's trace. *)
+  Obs_trace.set_sink (Some trace);
+  Obs_trace.set_enabled cfg.trace;
   let finish () =
     last_run_trace := Sim_trace.events e.trace;
+    Obs_trace.set_enabled false;
     the_engine := None
   in
   match

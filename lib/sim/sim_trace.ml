@@ -1,61 +1,187 @@
+module Obs_event = Mach_obs.Obs_event
+module Obs_json = Mach_obs.Obs_json
+
 type event = {
+  seq : int;
   step : int;
   clock : int;
   cpu : int;
   context : string;
-  tag : string;
-  detail : string;
+  ev : Obs_event.t;
 }
 
-type t = {
-  capacity : int;
-  on : bool;
+(* One bounded ring per cpu (slot 0 is the scheduler, cpu c is slot c+1),
+   so a chatty cpu cannot evict every other cpu's recent history.  Events
+   carry a global sequence number; [events] merges the rings on it. *)
+type ring = {
   buf : event option array;
   mutable next : int;
   mutable count : int;
-  mutable dropped : int;
+  mutable overflowed : int;
 }
 
-let make ~capacity ~enabled =
+type t = {
+  per_ring : int;
+  on : bool;
+  rings : ring array;
+  mutable seq : int;
+  mutable disabled_discards : int;
+}
+
+let make ?(cpus = 1) ~capacity ~enabled () =
+  let nrings = max 1 cpus + 1 in
+  let per_ring = max 1 (capacity / nrings) in
   {
-    capacity = max 1 capacity;
+    per_ring;
     on = enabled;
-    buf = Array.make (max 1 capacity) None;
-    next = 0;
-    count = 0;
-    dropped = 0;
+    rings =
+      Array.init nrings (fun _ ->
+          { buf = Array.make per_ring None; next = 0; count = 0; overflowed = 0 });
+    seq = 0;
+    disabled_discards = 0;
   }
 
 let enabled t = t.on
+let capacity t = t.per_ring * Array.length t.rings
 
-let record t e =
-  if t.on then begin
-    if t.count = t.capacity then t.dropped <- t.dropped + 1
-    else t.count <- t.count + 1;
-    t.buf.(t.next) <- Some e;
-    t.next <- (t.next + 1) mod t.capacity
+let ring_of t cpu =
+  let n = Array.length t.rings in
+  let i = cpu + 1 in
+  t.rings.(if i < 0 || i >= n then 0 else i)
+
+let record t ~step ~clock ~cpu ~context ev =
+  if not t.on then t.disabled_discards <- t.disabled_discards + 1
+  else begin
+    let r = ring_of t cpu in
+    if r.count = t.per_ring then r.overflowed <- r.overflowed + 1
+    else r.count <- r.count + 1;
+    r.buf.(r.next) <- Some { seq = t.seq; step; clock; cpu; context; ev };
+    t.seq <- t.seq + 1;
+    r.next <- (r.next + 1) mod t.per_ring
   end
 
 let events t =
   let out = ref [] in
-  for i = 0 to t.capacity - 1 do
-    let idx = (t.next + i) mod t.capacity in
-    match t.buf.(idx) with Some e -> out := e :: !out | None -> ()
-  done;
-  List.rev !out
+  Array.iter
+    (fun r ->
+      for i = 0 to t.per_ring - 1 do
+        let idx = (r.next + i) mod t.per_ring in
+        match r.buf.(idx) with Some e -> out := e :: !out | None -> ()
+      done)
+    t.rings;
+  List.sort (fun (a : event) (b : event) -> compare a.seq b.seq) !out
 
-let dropped t = t.dropped
+let dropped t =
+  Array.fold_left (fun acc r -> acc + r.overflowed) 0 t.rings
+
+let disabled_discards t = t.disabled_discards
 
 let clear t =
-  Array.fill t.buf 0 t.capacity None;
-  t.next <- 0;
-  t.count <- 0;
-  t.dropped <- 0
+  Array.iter
+    (fun r ->
+      Array.fill r.buf 0 t.per_ring None;
+      r.next <- 0;
+      r.count <- 0;
+      r.overflowed <- 0)
+    t.rings;
+  t.seq <- 0;
+  t.disabled_discards <- 0
 
 let pp_event ppf e =
   Format.fprintf ppf "[%8d c%d @%8d] %-12s %-8s %s" e.step e.cpu e.clock
-    e.context e.tag e.detail
+    e.context (Obs_event.tag e.ev) (Obs_event.detail e.ev)
 
 let dump ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t);
-  if t.dropped > 0 then Format.fprintf ppf "... (%d earlier events dropped)@." t.dropped
+  if dropped t > 0 then
+    Format.fprintf ppf "... (%d earlier events dropped)@." (dropped t)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One process per run; one Chrome "thread" per cpu (the scheduler's
+   cpu -1 renders as tid 0, cpu c as tid c+1).  Cycle clocks are written
+   as microseconds.  Every event becomes an instant ("i") named after its
+   constructor; additionally, Tlb_shootdown_start/_done pairs and
+   Lock_release events (which carry their own durations) synthesize
+   complete ("X") spans so chrome://tracing / Perfetto render the
+   shootdown barrier and lock hold times as bars. *)
+let chrome_json events =
+  let open Obs_json in
+  let tid cpu = cpu + 1 in
+  let common e =
+    [
+      ("pid", Int 1);
+      ("tid", Int (tid e.cpu));
+      ("ts", Float (float_of_int e.clock));
+    ]
+  in
+  let instant e =
+    Obj
+      (("name", String (Obs_event.name e.ev))
+       :: ("ph", String "i")
+       :: ("s", String "t")
+       :: common e
+      @ [
+          ( "args",
+            Obj
+              (("context", String e.context)
+               :: ("step", Int e.step)
+               :: Obs_event.args e.ev) );
+        ])
+  in
+  let span ~name ~ts ~dur e =
+    Obj
+      [
+        ("name", String name);
+        ("ph", String "X");
+        ("pid", Int 1);
+        ("tid", Int (tid e.cpu));
+        ("ts", Float (float_of_int ts));
+        ("dur", Float (float_of_int (max 1 dur)));
+        ("args", Obj (("context", String e.context) :: Obs_event.args e.ev));
+      ]
+  in
+  let spans =
+    List.filter_map
+      (fun e ->
+        match e.ev with
+        | Obs_event.Tlb_shootdown_done { cycles; _ } ->
+            Some (span ~name:"Tlb_shootdown" ~ts:(e.clock - cycles) ~dur:cycles e)
+        | Obs_event.Lock_release { lock; held_cycles } ->
+            Some
+              (span ~name:("hold:" ^ lock) ~ts:(e.clock - held_cycles)
+                 ~dur:held_cycles e)
+        | _ -> None)
+      events
+  in
+  let thread_names =
+    let cpus =
+      List.sort_uniq compare (List.map (fun e -> e.cpu) events)
+    in
+    List.map
+      (fun cpu ->
+        Obj
+          [
+            ("name", String "thread_name");
+            ("ph", String "M");
+            ("pid", Int 1);
+            ("tid", Int (tid cpu));
+            ( "args",
+              Obj
+                [
+                  ( "name",
+                    String
+                      (if cpu < 0 then "scheduler"
+                       else Printf.sprintf "cpu%d" cpu) );
+                ] );
+          ])
+      cpus
+  in
+  Obj
+    [
+      ( "traceEvents",
+        List (thread_names @ List.map instant events @ spans) );
+      ("displayTimeUnit", String "ms");
+    ]

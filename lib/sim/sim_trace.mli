@@ -1,25 +1,58 @@
-(** Bounded event trace for the simulator: a ring buffer of structured
-    events, readable after a run for debugging and for tests that assert
-    orderings (e.g. "no reader ran while the writer held the lock"). *)
+(** Bounded typed event trace for the simulator.
+
+    One ring buffer per cpu (plus one for the scheduler), merged on read:
+    a chatty cpu cannot evict other cpus' recent history.  Events carry
+    the typed payloads of {!Mach_obs.Obs_event} rather than string tags,
+    so tests can match on structure and the Chrome exporter can emit real
+    args; [pp_event] renders the same text format as the original
+    string-tagged trace. *)
+
+module Obs_event = Mach_obs.Obs_event
+module Obs_json = Mach_obs.Obs_json
 
 type event = {
+  seq : int;           (** global record order, monotonically increasing *)
   step : int;          (** scheduler step at which the event occurred *)
   clock : int;         (** the cpu's cycle clock *)
-  cpu : int;
+  cpu : int;           (** -1 = the scheduler itself *)
   context : string;    (** thread or interrupt name *)
-  tag : string;        (** event class: "spawn", "park", "tas", ... *)
-  detail : string;
+  ev : Obs_event.t;    (** the typed payload *)
 }
 
 type t
 
-val make : capacity:int -> enabled:bool -> t
+val make : ?cpus:int -> capacity:int -> enabled:bool -> unit -> t
+(** [capacity] is the {e total} event budget; it is divided evenly over
+    the per-cpu rings ([cpus]+1 of them, at least 1 slot each). *)
+
 val enabled : t -> bool
-val record : t -> event -> unit
+
+val capacity : t -> int
+(** Total events the trace can retain (per-ring capacity × rings; may be
+    slightly below the requested capacity due to even division). *)
+
+val record :
+  t -> step:int -> clock:int -> cpu:int -> context:string -> Obs_event.t -> unit
+(** Append an event.  On a disabled trace this counts the discard (see
+    {!disabled_discards}) instead of silently dropping. *)
+
 val events : t -> event list
-(** Oldest first; at most [capacity] most recent events. *)
+(** All retained events merged across rings, oldest first. *)
 
 val dropped : t -> int
+(** Events lost to ring overflow while the trace was {e enabled}. *)
+
+val disabled_discards : t -> int
+(** Events discarded because the trace was disabled — kept distinct from
+    {!dropped} so "trace off" and "trace overflowed" are distinguishable. *)
+
 val clear : t -> unit
 val pp_event : Format.formatter -> event -> unit
 val dump : Format.formatter -> t -> unit
+
+val chrome_json : event list -> Obs_json.t
+(** Export as a Chrome trace-event document (loadable in chrome://tracing
+    and Perfetto): every event as an instant on its cpu's track, plus
+    synthesized complete-spans for TLB shootdowns (from
+    [Tlb_shootdown_done.cycles]) and lock hold times (from
+    [Lock_release.held_cycles]). *)

@@ -1,5 +1,10 @@
 module Engine = Mach_sim.Sim_engine
 module Spl = Mach_core.Spl
+module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_trace = Mach_obs.Obs_trace
+module Obs_event = Mach_obs.Obs_event
+
+let h_round_trip = Obs_metrics.histogram "tlb.shootdown_cycles"
 
 let max_cpus = 64
 
@@ -34,6 +39,15 @@ let shootdown ~pmap_id ~targets ~invalidate ~commit =
     List.partition (fun c -> not (in_pmap_critical ~cpu:c)) remote
   in
   let n = List.length participants in
+  let started_at = Engine.now_cycles () in
+  if Obs_trace.enabled () then
+    Obs_trace.emit
+      (Obs_event.Tlb_shootdown_start
+         {
+           initiator = me;
+           participants = n;
+           lazies = List.length lazies;
+         });
   let checked_in = Engine.Cell.make ~name:"shootdown.checked_in" 0 in
   let go = Engine.Cell.make ~name:"shootdown.go" 0 in
   List.iter
@@ -64,4 +78,8 @@ let shootdown ~pmap_id ~targets ~invalidate ~commit =
   commit ();
   invalidate ~cpu:me;
   Engine.Cell.set go 1;
+  let cycles = max 0 (Engine.now_cycles () - started_at) in
+  Obs_metrics.observe ~cpu:me h_round_trip cycles;
+  if Obs_trace.enabled () then
+    Obs_trace.emit (Obs_event.Tlb_shootdown_done { participants = n; cycles });
   ignore (Atomic.fetch_and_add performed 1)

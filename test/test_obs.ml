@@ -1,0 +1,406 @@
+(* The observability layer: lock statistics invariants, histogram bucket
+   geometry and percentiles, trace accounting (disabled vs overflow), and
+   the Chrome trace-event export round-trip. *)
+
+module Stats = Mach_core.Lock_stats
+module Hist = Mach_obs.Obs_histogram
+module Metrics = Mach_obs.Obs_metrics
+module Profile = Mach_obs.Obs_profile
+module Json = Mach_obs.Obs_json
+module Event = Mach_obs.Obs_event
+module Trace = Mach_sim.Sim_trace
+open Test_support
+
+(* ------------------------------------------------------------------ *)
+(* Lock_stats                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Populate every counter with a distinct value pattern. *)
+let populated () =
+  let s = Stats.make () in
+  Stats.record_acquire s ~contended:false ~spins:0;
+  Stats.record_acquire s ~contended:true ~spins:7;
+  Stats.record_release s ~held_cycles:40;
+  Stats.record_try s ~success:true;
+  Stats.record_try s ~success:false;
+  Stats.record_sleep s;
+  Stats.record_read s;
+  Stats.record_read s;
+  Stats.record_write s;
+  Stats.record_upgrade s ~success:true;
+  Stats.record_upgrade s ~success:false;
+  Stats.record_downgrade s;
+  Stats.record_recursive s;
+  s
+
+let readers =
+  [
+    ("acquisitions", Stats.acquisitions);
+    ("contentions", Stats.contentions);
+    ("total_spins", Stats.total_spins);
+    ("tries", Stats.tries);
+    ("failed_tries", Stats.failed_tries);
+    ("sleeps", Stats.sleeps);
+    ("reads", Stats.reads);
+    ("writes", Stats.writes);
+    ("upgrades", Stats.upgrades);
+    ("failed_upgrades", Stats.failed_upgrades);
+    ("downgrades", Stats.downgrades);
+    ("recursive_acquires", Stats.recursive_acquires);
+    ("held_cycles", Stats.held_cycles);
+  ]
+
+let test_stats_merge_sums_every_counter () =
+  let a = populated () and b = populated () in
+  let dst = populated () in
+  Stats.merge_into ~dst a;
+  Stats.merge_into ~dst b;
+  List.iter
+    (fun (name, read) ->
+      check_int (name ^ " tripled by two merges") (3 * read a) (read dst))
+    readers;
+  (* every reader must see a nonzero source value, or the sum test above
+     proves nothing for that counter *)
+  List.iter
+    (fun (name, read) ->
+      check_bool (name ^ " exercised by populate") true (read a > 0))
+    readers
+
+let test_stats_reset_zeroes_every_counter () =
+  let s = populated () in
+  Stats.reset s;
+  List.iter
+    (fun (name, read) -> check_int (name ^ " zero after reset") 0 (read s))
+    readers;
+  check_bool "first_attempt_rate back to the empty case" true
+    (Stats.first_attempt_rate s = 1.0)
+
+let test_stats_zero_acquisition_rate () =
+  let s = Stats.make () in
+  check_bool "no acquisitions -> rate 1.0" true
+    (Stats.first_attempt_rate s = 1.0);
+  Stats.record_acquire s ~contended:true ~spins:3;
+  check_bool "all contended -> rate 0.0" true
+    (Stats.first_attempt_rate s = 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_bucket_boundaries () =
+  (* below 2 * sub_buckets the mapping is the identity: values are exact *)
+  for v = 0 to 63 do
+    check_int (Printf.sprintf "identity bucket for %d" v) v
+      (Hist.bucket_index v)
+  done;
+  (* bucket bounds partition the value space: each bucket's hi + 1 is the
+     next bucket's lo, and every value maps into its own bucket's range *)
+  let last = Hist.bucket_index max_int in
+  let prev_hi = ref (-1) in
+  for idx = 0 to min last 200 do
+    let lo, hi = Hist.bucket_bounds idx in
+    check_int (Printf.sprintf "bucket %d contiguous" idx) (!prev_hi + 1) lo;
+    check_bool (Printf.sprintf "bucket %d ordered" idx) true (lo <= hi);
+    check_int (Printf.sprintf "lo of bucket %d maps back" idx) idx
+      (Hist.bucket_index lo);
+    check_int (Printf.sprintf "hi of bucket %d maps back" idx) idx
+      (Hist.bucket_index hi);
+    prev_hi := hi
+  done;
+  (* relative quantization error is bounded by 1/32 *)
+  List.iter
+    (fun v ->
+      let lo, hi = Hist.bucket_bounds (Hist.bucket_index v) in
+      check_bool (Printf.sprintf "%d within its bucket" v) true
+        (lo <= v && v <= hi);
+      check_bool
+        (Printf.sprintf "bucket width at %d within 1/32 relative" v)
+        true
+        (hi - lo + 1 <= max 1 (v / 32 + 1)))
+    [ 64; 100; 1000; 65536; 1_000_000; 123_456_789 ]
+
+let test_hist_percentiles_known_distribution () =
+  let h = Hist.make () in
+  (* 1..100, once each: percentiles are known exactly (all values < 64
+     are exact, the rest quantized by < 1/32) *)
+  for v = 1 to 100 do
+    Hist.record h v
+  done;
+  check_int "count" 100 (Hist.count h);
+  check_int "sum" 5050 (Hist.sum h);
+  check_int "min" 1 (Hist.min_value h);
+  check_int "max" 100 (Hist.max_value h);
+  check_int "p50 of 1..100" 50 (Hist.percentile h 50.);
+  check_int "p0 is min" 1 (Hist.percentile h 0.);
+  check_int "p100 is max" 100 (Hist.percentile h 100.);
+  (* 90 and 99 land in log buckets; allow the documented 1/32 error *)
+  let near name expected got =
+    check_bool
+      (Printf.sprintf "%s: |%d - %d| <= %d" name got expected
+         (expected / 32 + 1))
+      true
+      (abs (got - expected) <= (expected / 32) + 1)
+  in
+  near "p90" 90 (Hist.percentile h 90.);
+  near "p99" 99 (Hist.percentile h 99.);
+  check_int "empty percentile" 0 (Hist.percentile (Hist.make ()) 50.)
+
+let test_hist_merge_and_reset () =
+  let a = Hist.make () and b = Hist.make () in
+  Hist.record_n a 10 ~n:5;
+  Hist.record_n b 1000 ~n:3;
+  Hist.merge_into ~dst:a b;
+  check_int "merged count" 8 (Hist.count a);
+  check_int "merged max" 1000 (Hist.max_value a);
+  check_int "merged min" 10 (Hist.min_value a);
+  Hist.reset a;
+  check_int "reset count" 0 (Hist.count a);
+  check_int "reset max" 0 (Hist.max_value a)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring accounting                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_vs_overflow () =
+  (* disabled: nothing stored, discards counted separately *)
+  let off = Trace.make ~cpus:2 ~capacity:30 ~enabled:false () in
+  for i = 0 to 9 do
+    Trace.record off ~step:i ~clock:i ~cpu:0 ~context:"t"
+      (Event.Raw { tag = "x"; detail = "" })
+  done;
+  check_int "disabled stores nothing" 0 (List.length (Trace.events off));
+  check_int "disabled discards counted" 10 (Trace.disabled_discards off);
+  check_int "disabled is not overflow" 0 (Trace.dropped off);
+  (* enabled: overflow evicts oldest per ring and counts as dropped *)
+  let on = Trace.make ~cpus:2 ~capacity:30 ~enabled:true () in
+  check_int "capacity = per-ring x rings" 30 (Trace.capacity on);
+  for i = 0 to 14 do
+    Trace.record on ~step:i ~clock:i ~cpu:0 ~context:"t"
+      (Event.Raw { tag = "x"; detail = string_of_int i })
+  done;
+  check_int "cpu0 ring keeps its 10 newest" 10 (List.length (Trace.events on));
+  check_int "overflow counted" 5 (Trace.dropped on);
+  check_int "no disabled discards when enabled" 0 (Trace.disabled_discards on);
+  (* the 5 oldest were evicted; events come back in seq order *)
+  (match Trace.events on with
+  | first :: _ -> check_int "oldest surviving event" 5 first.Trace.step
+  | [] -> Alcotest.fail "expected events");
+  (* a chatty cpu must not evict another cpu's history *)
+  Trace.record on ~step:99 ~clock:99 ~cpu:1 ~context:"u"
+    (Event.Raw { tag = "y"; detail = "" });
+  check_int "cpu1 unaffected by cpu0 overflow" 11
+    (List.length (Trace.events on));
+  Trace.clear on;
+  check_int "clear empties" 0 (List.length (Trace.events on));
+  check_int "clear resets dropped" 0 (Trace.dropped on)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome export + JSON round-trip                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export_round_trip () =
+  let t = Trace.make ~cpus:2 ~capacity:100 ~enabled:true () in
+  let record ~clock ~cpu ev =
+    Trace.record t ~step:clock ~clock ~cpu ~context:"thr" ev
+  in
+  record ~clock:10 ~cpu:0 (Event.Lock_acquire { lock = "slock1"; spins = 3; wait_cycles = 12 });
+  record ~clock:50 ~cpu:0 (Event.Lock_release { lock = "slock1"; held_cycles = 40 });
+  record ~clock:60 ~cpu:1
+    (Event.Tlb_shootdown_start { initiator = 1; participants = 1; lazies = 0 });
+  record ~clock:200 ~cpu:1
+    (Event.Tlb_shootdown_done { participants = 1; cycles = 140 });
+  let text = Json.to_string (Trace.chrome_json (Trace.events t)) in
+  match Json.of_string text with
+  | Error msg -> Alcotest.fail ("export does not parse: " ^ msg)
+  | Ok doc -> (
+      check_bool "shootdown start present" true
+        (contains text "Tlb_shootdown_start");
+      check_bool "shootdown done present" true
+        (contains text "Tlb_shootdown_done");
+      check_bool "a complete span synthesized" true (contains text "\"X\"");
+      match Json.member "traceEvents" doc with
+      | Some (Json.List evs) ->
+          (* 2 thread-name metadata records (scheduler track absent: no
+             cpu -1 events) + 4 instants + 2 spans *)
+          check_int "event count" 8 (List.length evs);
+          let span_names =
+            List.filter_map
+              (fun e ->
+                match (Json.member "ph" e, Json.member "name" e) with
+                | Some (Json.String "X"), Some (Json.String n) -> Some n
+                | _ -> None)
+              evs
+          in
+          check_bool "hold span" true (List.mem "hold:slock1" span_names);
+          check_bool "shootdown span" true
+            (List.mem "Tlb_shootdown" span_names)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_json_parser () =
+  let cases =
+    [
+      ({|{"a":1,"b":[true,false,null,"x\n\"y\""],"c":-2.5}|}, true);
+      ({|[1,2,3]|}, true);
+      ({|"lone string"|}, true);
+      ({|{"unterminated":|}, false);
+      ({|{"trailing":1} garbage|}, false);
+      ("", false);
+    ]
+  in
+  List.iter
+    (fun (text, ok) ->
+      match Json.of_string text with
+      | Ok _ ->
+          check_bool (Printf.sprintf "%S should parse" text) true ok
+      | Error _ ->
+          check_bool (Printf.sprintf "%S should not parse" text) false ok)
+    cases;
+  (* round-trip a document through to_string/of_string *)
+  let doc =
+    Json.Obj
+      [
+        ("i", Json.Int 42);
+        ("f", Json.Float 1.5);
+        ("s", Json.String "esc\"ape\n");
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Ok d -> check_bool "round-trip equal" true (d = doc)
+  | Error m -> Alcotest.fail ("round-trip: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry + profiler                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add ~cpu:3 c 4;
+  check_int "shards merge at read" 5 (Metrics.counter_value c);
+  check_bool "interning returns the same counter" true
+    (Metrics.counter_value (Metrics.counter "test.counter") = 5);
+  (match Metrics.histogram "test.counter" with
+  | _ -> Alcotest.fail "type clash must raise"
+  | exception Invalid_argument _ -> ());
+  let h = Metrics.histogram "test.hist" in
+  Metrics.observe ~cpu:0 h 10;
+  Metrics.observe ~cpu:7 h 30;
+  check_int "histogram shards merge" 2 (Hist.count (Metrics.merged h));
+  Metrics.reset ();
+  check_int "reset zeroes counters" 0 (Metrics.counter_value c);
+  check_int "reset zeroes histograms" 0 (Hist.count (Metrics.merged h))
+
+let test_profile_classes_and_edges () =
+  Profile.reset ();
+  check_bool "class strips digits" true
+    (Profile.class_of_name "slock12" = "slock");
+  check_bool "class keeps dots" true
+    (Profile.class_of_name "lock3.interlock" = "lock.interlock");
+  check_bool "all-digit name falls back" true
+    (Profile.class_of_name "42" = "lock");
+  (* thread 1 holds a pmap lock, then contends on a pv lock: edge *)
+  Profile.note_acquire ~tid:1 ~name:"pmap0" ~contended:false ~wait_cycles:0;
+  Profile.note_acquire ~tid:1 ~name:"pv3" ~contended:true ~wait_cycles:250;
+  Profile.note_release ~tid:1 ~name:"pv3" ~held_cycles:10;
+  Profile.note_release ~tid:1 ~name:"pmap0" ~held_cycles:100;
+  (match Profile.edges () with
+  | [ (holder, wanted, n) ] ->
+      check_bool "edge holder" true (holder = "pmap");
+      check_bool "edge wanted" true (wanted = "pv");
+      check_int "edge count" 1 n
+  | es -> Alcotest.fail (Printf.sprintf "expected 1 edge, got %d" (List.length es)));
+  (match Profile.top ~n:1 with
+  | [ c ] ->
+      check_bool "top class by wait" true (c.Profile.cls = "pv");
+      check_int "wait cycles" 250 c.Profile.wait_cycles
+  | _ -> Alcotest.fail "expected a top class");
+  let empty =
+    {
+      Profile.cls = "x";
+      acquisitions = 0;
+      contended = 0;
+      wait_cycles = 0;
+      hold_cycles = 0;
+      wait_hist = Hist.make ();
+    }
+  in
+  check_bool "zero-acquisition rate is 1.0" true
+    (Profile.first_attempt_rate empty = 1.0);
+  Profile.reset ();
+  check_bool "reset clears classes" true (Profile.classes () = [])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a traced simulation run                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_traced_run_has_typed_lock_events () =
+  let module K = Mach_ksync.Ksync in
+  Profile.reset ();
+  let cfg =
+    { Mach_sim.Sim_config.default with Mach_sim.Sim_config.cpus = 2; trace = true }
+  in
+  ignore
+    (Mach_sim.Sim_engine.run ~cfg (fun () ->
+         let l = K.Slock.make ~name:"shared" () in
+         let ts =
+           List.init 2 (fun k ->
+               Mach_sim.Sim_engine.spawn ~name:(Printf.sprintf "w%d" k)
+                 (fun () ->
+                   for _ = 1 to 5 do
+                     K.Slock.lock l;
+                     Mach_sim.Sim_engine.cycles 20;
+                     K.Slock.unlock l
+                   done))
+         in
+         List.iter Mach_sim.Sim_engine.join ts));
+  let events = Mach_sim.Sim_engine.trace_events () in
+  let has p = List.exists (fun e -> p e.Trace.ev) events in
+  check_bool "typed Lock_acquire traced" true
+    (has (function Event.Lock_acquire { lock = "shared"; _ } -> true | _ -> false));
+  check_bool "typed Lock_release traced" true
+    (has (function Event.Lock_release { lock = "shared"; _ } -> true | _ -> false));
+  check_bool "profiler saw the lock class" true
+    (List.exists
+       (fun c -> c.Profile.cls = "shared")
+       (Profile.classes ()))
+
+let () =
+  let open Alcotest in
+  run "obs"
+    [
+      ( "lock stats",
+        [
+          test_case "merge_into sums every counter" `Quick
+            test_stats_merge_sums_every_counter;
+          test_case "reset zeroes every counter" `Quick
+            test_stats_reset_zeroes_every_counter;
+          test_case "first_attempt_rate edge cases" `Quick
+            test_stats_zero_acquisition_rate;
+        ] );
+      ( "histogram",
+        [
+          test_case "bucket boundaries" `Quick test_hist_bucket_boundaries;
+          test_case "percentiles on a known distribution" `Quick
+            test_hist_percentiles_known_distribution;
+          test_case "merge and reset" `Quick test_hist_merge_and_reset;
+        ] );
+      ( "trace",
+        [
+          test_case "disabled vs overflow accounting" `Quick
+            test_trace_disabled_vs_overflow;
+          test_case "chrome export round-trip" `Quick
+            test_chrome_export_round_trip;
+          test_case "traced run emits typed lock events" `Quick
+            test_traced_run_has_typed_lock_events;
+        ] );
+      ( "json",
+        [ test_case "parser accepts/rejects" `Quick test_json_parser ] );
+      ( "metrics + profile",
+        [
+          test_case "registry counters and shards" `Quick test_metrics_registry;
+          test_case "classes and waits-for edges" `Quick
+            test_profile_classes_and_edges;
+        ] );
+    ]
