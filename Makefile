@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check build test bench trace-smoke clean
+.PHONY: all check build test bench perf perf-smoke trace-smoke clean
 
 all: build
 
@@ -17,6 +17,15 @@ check:
 
 bench:
 	dune exec bench/main.exe
+
+# Perf regression harness: engine steps/sec + domain-parallel sweep
+# speedup, written to BENCH_sim_perf.json.
+perf:
+	dune exec bench/perf.exe
+
+# Reduced-size variant for CI: same scenarios, fewer repeats/seeds.
+perf-smoke:
+	dune exec bench/perf.exe -- --fast
 
 # Run the shootdown scenario with tracing, export Chrome trace-event
 # JSON, and verify it parses and contains the shootdown events (machsim

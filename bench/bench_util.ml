@@ -30,9 +30,10 @@ let table ~header rows =
   List.iter print_row rows
 
 (* Run a workload on the simulated machine with the bench configuration
-   and return the stats. *)
-let sim_run ?(cpus = 8) ?(seed = 3) f =
-  let cfg = { (Config.bench ~cpus ()) with Config.seed } in
+   and return the stats.  [tweak] post-processes the configuration (e.g.
+   to change the backoff cap). *)
+let sim_run ?(cpus = 8) ?(seed = 3) ?(tweak = Fun.id) f =
+  let cfg = tweak { (Config.bench ~cpus ()) with Config.seed } in
   Engine.run ~cfg f
 
 let f1 x = Printf.sprintf "%.1f" x

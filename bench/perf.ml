@@ -1,0 +1,142 @@
+(* The engine perf regression harness.
+
+   Two measurements, both against fixed scenarios so numbers are
+   comparable across commits:
+
+   - single-domain engine throughput: the 16-cpu E1 contention scenario
+     (one lock, shared data, Timed policy) run repeatedly on one domain;
+     reported as scheduler steps/second of wall-clock time.
+   - domain-parallel seed sweep: `Sim_explore.run` over a fixed seed set,
+     sequential vs. fanned out across domains, with the verdicts checked
+     equal; reported as wall-clock speedup.
+
+   Results are written to BENCH_sim_perf.json so CI can archive the perf
+   trajectory per PR (`make perf-smoke` runs the `--fast` variant). *)
+
+module Engine = Mach_sim.Sim_engine
+module Config = Mach_sim.Sim_config
+module Explore = Mach_sim.Sim_explore
+module K = Mach_ksync.Ksync
+module Obs_json = Mach_obs.Obs_json
+
+let e1_scenario ~iters () =
+  let lock = K.Slock.make ~name:"e1" ~protocol:Mach_core.Spin.Ttas () in
+  let data = Array.init 4 (fun _ -> Engine.Cell.make ~name:"d" 0) in
+  let cpus = Engine.cpu_count () in
+  let worker () =
+    for _ = 1 to iters do
+      K.Slock.lock lock;
+      Array.iter (fun d -> ignore (Engine.Cell.fetch_and_add d 1)) data;
+      Engine.cycles 20;
+      K.Slock.unlock lock
+    done
+  in
+  let ts = List.init cpus (fun _ -> Engine.spawn worker) in
+  List.iter Engine.join ts
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+
+(* Pre-overhaul reference: steps/sec of the list-based scheduler on this
+   same scenario and harness settings (repeats=10, iters=30), measured at
+   the commit before the indexed-queue engine landed.  Kept so every
+   future run reports its ratio to the same fixed point. *)
+let baseline_steps_per_sec = 1_975_301.
+
+let engine_throughput ~repeats ~iters =
+  let cfg = { (Config.bench ~cpus:16 ()) with Config.seed = 3 } in
+  (* One untimed warmup run so allocator effects land outside the clock. *)
+  ignore (Engine.run ~cfg (e1_scenario ~iters));
+  let steps = ref 0 in
+  let (), secs =
+    wall (fun () ->
+        for _ = 1 to repeats do
+          let s = Engine.run ~cfg (e1_scenario ~iters) in
+          steps := !steps + s.Engine.steps
+        done)
+  in
+  let sps = float_of_int !steps /. secs in
+  Printf.printf
+    "engine: 16-cpu E1 contention x%d  steps=%d  wall=%.3fs  steps/sec=%.0f \
+     (%.2fx of pre-overhaul baseline)\n%!"
+    repeats !steps secs sps
+    (sps /. baseline_steps_per_sec);
+  ( sps,
+    Obs_json.Obj
+      [
+        ("scenario", Obs_json.String "e1-contention-16cpu");
+        ("repeats", Obs_json.Int repeats);
+        ("iters_per_worker", Obs_json.Int iters);
+        ("steps", Obs_json.Int !steps);
+        ("wall_s", Obs_json.Float secs);
+        ("steps_per_sec", Obs_json.Float sps);
+        ("baseline_steps_per_sec", Obs_json.Float baseline_steps_per_sec);
+        ("vs_baseline", Obs_json.Float (sps /. baseline_steps_per_sec));
+      ] )
+
+let sweep ~seeds ~domains =
+  let seed_list = List.init seeds (fun s -> s + 1) in
+  let scenario = e1_scenario ~iters:12 in
+  let tweak cfg = { cfg with Config.policy = Config.Timed } in
+  let run domains () =
+    Explore.run ~cpus:4 ~seeds:seed_list ~domains ~tweak scenario
+  in
+  let seq, seq_s = wall (run 1) in
+  let par, par_s = wall (run domains) in
+  if seq <> par then begin
+    Printf.eprintf "FATAL: parallel sweep verdict differs from sequential\n";
+    exit 1
+  end;
+  let speedup = seq_s /. par_s in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "sweep: %d seeds  seq=%.3fs  %d-domain=%.3fs  speedup=%.2fx  (%d/%d \
+     completed, verdicts equal, %d core(s) available)\n%!"
+    seeds seq_s domains par_s speedup seq.Explore.completed
+    seq.Explore.seeds_run cores;
+  if cores < domains then
+    Printf.printf
+      "sweep: note: only %d core(s) on this host; the %d-domain speedup is \
+       bounded by the core count\n%!"
+      cores domains;
+  Obs_json.Obj
+    [
+      ("seeds", Obs_json.Int seeds);
+      ("domains", Obs_json.Int domains);
+      ("cores", Obs_json.Int cores);
+      ("seq_wall_s", Obs_json.Float seq_s);
+      ("par_wall_s", Obs_json.Float par_s);
+      ("speedup", Obs_json.Float speedup);
+      ("verdicts_equal", Obs_json.Bool true);
+      ("completed", Obs_json.Int seq.Explore.completed);
+    ]
+
+let () =
+  let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let engine_only = Array.exists (fun a -> a = "--engine-only") Sys.argv in
+  let repeats = if fast then 3 else 10 in
+  let iters = if fast then 20 else 30 in
+  let seeds = if fast then 24 else 100 in
+  (* The reference sweep is 8-domain; on hosts with fewer cores the
+     measured speedup is core-bound (recorded in the json). *)
+  let domains = 8 in
+  let _sps, engine_json = engine_throughput ~repeats ~iters in
+  let fields = [ ("engine", engine_json) ] in
+  let fields =
+    if engine_only then fields
+    else fields @ [ ("sweep", sweep ~seeds ~domains) ]
+  in
+  let doc =
+    Obs_json.Obj
+      (fields @ [ ("mode", Obs_json.String (if fast then "fast" else "full")) ])
+  in
+  let out = "BENCH_sim_perf.json" in
+  let oc = open_out out in
+  output_string oc (Obs_json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "perf results written to %s\n" out

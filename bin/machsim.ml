@@ -225,9 +225,21 @@ let explore_cmd =
       value & opt int 100
       & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of schedule seeds.")
   in
-  let run scenario cpus seeds =
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan the seeds out across $(docv) OCaml domains.  The verdict \
+             is identical to the sequential run for every value.")
+  in
+  let run scenario cpus seeds domains =
+    if domains < 1 then begin
+      Printf.eprintf "explore: --domains must be at least 1 (got %d)\n" domains;
+      exit 2
+    end;
     let v =
-      Explore.run ~cpus
+      Explore.run ~cpus ~domains
         ~seeds:(List.init seeds (fun i -> i + 1))
         (lookup_scenario scenario)
     in
@@ -238,7 +250,9 @@ let explore_cmd =
     | [] -> ());
     if Explore.all_completed v then 0 else 1
   in
-  let term = Term.(const run $ scenario_arg $ cpus_arg $ seeds_arg) in
+  let term =
+    Term.(const run $ scenario_arg $ cpus_arg $ seeds_arg $ domains_arg)
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:

@@ -81,6 +81,11 @@ module type MACHINE = sig
   (** Diagnostic: record what the current context is spinning on, so that
       deadlock reports can name the lock.  No-op natively. *)
 
+  val spin_max_backoff : unit -> int
+  (** Cap (in cycles) on the exponential-backoff delay of backoff spin
+      protocols.  The simulator reads it from the run configuration so
+      experiments can tune it; native machines use a fixed cap. *)
+
   (** {1 Blocking} *)
 
   val park : unit -> unit

@@ -16,11 +16,10 @@ let protocol_of_string = function
   | _ -> None
 
 module Make (M : Machine_intf.MACHINE) = struct
-  let max_backoff = 1024
-
   (* Spin on the cacheable read until the lock looks free, then attempt the
      atomic instruction; repeat.  Counts iterations for statistics. *)
   let ttas_loop ~backoff cell =
+    let max_backoff = M.spin_max_backoff () in
     let rec loop spins delay =
       if M.Cell.get cell = 0 && M.Cell.test_and_set cell = 0 then spins
       else begin

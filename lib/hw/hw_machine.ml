@@ -76,6 +76,7 @@ let cpu_count () = Domain.recommended_domain_count ()
 let current_cpu () = (Domain.self () :> int)
 let spin_pause () = Domain.cpu_relax ()
 let spin_hint _ = ()
+let spin_max_backoff () = 1024
 
 let park () =
   let t = self () in

@@ -1,4 +1,4 @@
-(** The global typed-event sink.
+(** The domain-local typed-event sink.
 
     Layers that have no handle on the trace buffer (the lock and event
     modules in [lib/core], the vm layer) emit through this hook; the

@@ -19,6 +19,7 @@ type t = {
   context_switch_cost : int;
   interrupt_cost : int;
   preempt_on_cell_ops : bool;
+  spin_max_backoff : int;
   watchdog_steps : int;
   max_steps : int option;
   trace : bool;
@@ -40,6 +41,7 @@ let default =
     context_switch_cost = 300;
     interrupt_cost = 150;
     preempt_on_cell_ops = true;
+    spin_max_backoff = 1024;
     watchdog_steps = 1_000_000;
     max_steps = None;
     trace = false;

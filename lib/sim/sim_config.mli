@@ -31,6 +31,9 @@ type t = {
   preempt_on_cell_ops : bool;
       (** make every shared-cell operation a preemption point (finest
           interleaving granularity; on for exploration) *)
+  spin_max_backoff : int;
+      (** cap (in cycles) on the exponential-backoff delay of the
+          [Ttas_backoff] spin protocol *)
   watchdog_steps : int;
       (** scheduler steps without productive work before declaring a
           spin deadlock / livelock *)

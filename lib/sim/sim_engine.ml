@@ -26,6 +26,7 @@ type thread = {
   mutable hint : string option;
   mutable joiners : thread list;
   mutable on_cpu : int; (* -1 when not on a cpu *)
+  mutable enq_seq : int; (* global enqueue order across all run queues *)
 }
 
 type intr = {
@@ -39,12 +40,67 @@ type intr = {
 
 type frame = Fthread of thread | Fintr of intr
 
+(* ------------------------------------------------------------------ *)
+(* Array-backed FIFO (power-of-two ring, grows on demand).  The        *)
+(* scheduler's queues were lists with O(n) tail appends and O(n)       *)
+(* scans; every operation here is O(1) and allocation-free.            *)
+(* ------------------------------------------------------------------ *)
+
+module Tq = struct
+  type 'a t = {
+    mutable buf : 'a array;
+    mutable head : int;
+    mutable len : int;
+    dummy : 'a;
+  }
+
+  let make dummy = { buf = Array.make 16 dummy; head = 0; len = 0; dummy }
+  let is_empty q = q.len = 0
+
+  let grow q =
+    let cap = Array.length q.buf in
+    let bigger = Array.make (2 * cap) q.dummy in
+    for i = 0 to q.len - 1 do
+      bigger.(i) <- q.buf.((q.head + i) land (cap - 1))
+    done;
+    q.buf <- bigger;
+    q.head <- 0
+
+  let push q x =
+    if q.len = Array.length q.buf then grow q;
+    q.buf.((q.head + q.len) land (Array.length q.buf - 1)) <- x;
+    q.len <- q.len + 1
+
+  (* Valid only when [not (is_empty q)]; callers check. *)
+  let peek q = q.buf.(q.head)
+
+  let pop q =
+    let x = q.buf.(q.head) in
+    q.buf.(q.head) <- q.dummy;
+    q.head <- (q.head + 1) land (Array.length q.buf - 1);
+    q.len <- q.len - 1;
+    x
+
+  let iter f q =
+    for i = 0 to q.len - 1 do
+      f q.buf.((q.head + i) land (Array.length q.buf - 1))
+    done
+end
+
+(* Interrupt priority levels are dense ranks 0..n_spl-1; pending
+   interrupts live in one FIFO per level with a summary bitmask, so both
+   "is anything deliverable at this spl?" and "highest-priority pending"
+   are O(1) instead of list scans. *)
+let n_spl = Spl.rank Spl.Splhigh + 1
+
 type cpu = {
   idx : int;
   mutable clock : int;
   mutable spl : Spl.t;
   mutable frames : frame list; (* top first; thread frame at the bottom *)
-  mutable pending : intr list; (* queued interrupts, FIFO per level *)
+  pend : intr Tq.t array; (* queued interrupts, FIFO per level rank *)
+  mutable pend_mask : int; (* bit r set iff pend.(r) is non-empty *)
+  mutable pend_count : int;
 }
 
 type mstats = {
@@ -86,7 +142,14 @@ type engine = {
   cfg : Sim_config.t;
   rng : Sim_rng.t;
   cpus : cpu array;
-  mutable runq : thread list;
+  (* Run queues: one FIFO of unbound threads plus one per-cpu FIFO of
+     bound threads.  [enq_seq] stamps restore the single global FIFO
+     order the scheduler had when these were one list: a cpu dispatches
+     whichever eligible head was enqueued first. *)
+  anyq : thread Tq.t;
+  boundq : thread Tq.t array;
+  limbo : thread Tq.t; (* bound to a cpu that does not exist *)
+  mutable enq_ctr : int;
   mutable threads : thread list; (* every thread ever spawned, for reports *)
   mutable live : int;
   mutable stale : int; (* steps since the last productive operation *)
@@ -95,15 +158,23 @@ type engine = {
   st : mstats;
   mutable cur : (cpu * frame) option;
   mutable rr_next : int;
+  mutable name_ctr : int; (* per-run counter for generated thread names *)
   idle_identity : thread array; (* self() for interrupts on idle cpus *)
+  (* Scratch for the candidate picker: cpu indices of this step's
+     candidates (ascending), per-cpu action codes, and the Timed policy's
+     near-minimum subset.  Reused every step, never allocated. *)
+  cand : int array;
+  act : int array; (* 0 none / 1 deliver / 2 resume / 3 dispatch *)
+  near : int array;
 }
 
 (* ------------------------------------------------------------------ *)
-(* Globals: the engine singleton, cross-run identifiers, the identity  *)
-(* used when core code runs outside any simulation.                    *)
+(* Domain-local state: the engine slot, cross-run identifiers, the     *)
+(* identity used when core code runs outside any simulation.  One      *)
+(* engine may run per domain, so seed sweeps fan out with Domain.spawn *)
+(* while each domain's simulation stays fully deterministic.           *)
 (* ------------------------------------------------------------------ *)
 
-let the_engine : engine option ref = ref None
 let tid_counter = Atomic.make 1000 (* distinct from native machine tids *)
 
 let make_thread ?(bound = None) tname =
@@ -121,23 +192,34 @@ let make_thread ?(bound = None) tname =
     hint = None;
     joiners = [];
     on_cpu = -1;
+    enq_seq = 0;
   }
 
-let external_identity = lazy (make_thread "external")
-let last_run_stats : stats option ref = ref None
-let last_run_trace : Sim_trace.event list ref = ref []
+let engine_key : engine option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let running () = !the_engine <> None
+let the_engine () = Domain.DLS.get engine_key
+
+let external_identity_key : thread Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> make_thread "external")
+
+let last_stats_key : stats option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let last_trace_key : Sim_trace.event list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let running () = the_engine () <> None
 
 let eng_exn () =
-  match !the_engine with
+  match the_engine () with
   | Some e -> e
   | None -> raise (Kernel_panic "no simulation is running")
 
 let fatal msg = raise (Kernel_panic msg)
 
 (* The currently-executing (cpu, frame), if a fiber is running. *)
-let ctx () = match !the_engine with None -> None | Some e -> e.cur
+let ctx () = match the_engine () with None -> None | Some e -> e.cur
 
 let frame_name = function
   | Fthread t -> t.tname
@@ -145,7 +227,7 @@ let frame_name = function
 
 let self () =
   match ctx () with
-  | None -> Lazy.force external_identity
+  | None -> Domain.DLS.get external_identity_key
   | Some (c, Fthread t) ->
       ignore c;
       t
@@ -161,9 +243,9 @@ let self () =
       match bottom c.frames with
       | Some t -> t
       | None -> (
-          match !the_engine with
+          match the_engine () with
           | Some e -> e.idle_identity.(c.idx)
-          | None -> Lazy.force external_identity))
+          | None -> Domain.DLS.get external_identity_key))
 
 let thread_id t = t.tid
 let thread_name t = t.tname
@@ -187,17 +269,17 @@ let productive e = e.stale <- 0
 
 (* Record unconditionally: a disabled trace counts the discard itself, so
    "tracing was off" is distinguishable from "the ring overflowed". *)
+let trace_e e ev =
+  let step = e.st.m_steps in
+  let cpu, context, clock =
+    match e.cur with
+    | Some (c, f) -> (c.idx, frame_name f, c.clock)
+    | None -> (-1, "sched", 0)
+  in
+  Sim_trace.record e.trace ~step ~clock ~cpu ~context ev
+
 let trace ev =
-  match !the_engine with
-  | Some e ->
-      let step = e.st.m_steps in
-      let cpu, context, clock =
-        match e.cur with
-        | Some (c, f) -> (c.idx, frame_name f, c.clock)
-        | None -> (-1, "sched", 0)
-      in
-      Sim_trace.record e.trace ~step ~clock ~cpu ~context ev
-  | None -> ()
+  match the_engine () with Some e -> trace_e e ev | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Effects                                                              *)
@@ -209,7 +291,7 @@ let charge e n =
   match e.cur with Some (c, _) -> c.clock <- c.clock + n | None -> ()
 
 let pause () =
-  match !the_engine with
+  match the_engine () with
   | None -> ()
   | Some e -> (
       match e.cur with
@@ -219,7 +301,7 @@ let pause () =
           Effect.perform Pause_eff)
 
 let cycles n =
-  match !the_engine with None -> () | Some e -> charge e n
+  match the_engine () with None -> () | Some e -> charge e n
 
 let now_cycles () =
   match ctx () with Some (c, _) -> c.clock | None -> 0
@@ -227,7 +309,12 @@ let now_cycles () =
 let current_cpu () = match ctx () with Some (c, _) -> c.idx | None -> 0
 
 let cpu_count () =
-  match !the_engine with Some e -> e.cfg.cpus | None -> 1
+  match the_engine () with Some e -> e.cfg.cpus | None -> 1
+
+let spin_max_backoff () =
+  match the_engine () with
+  | Some e -> e.cfg.spin_max_backoff
+  | None -> Sim_config.default.spin_max_backoff
 
 let set_spl level =
   match ctx () with
@@ -239,7 +326,7 @@ let set_spl level =
            { from_lvl = Spl.to_string old; to_lvl = Spl.to_string level });
       old
   | None ->
-      let t = Lazy.force external_identity in
+      let t = Domain.DLS.get external_identity_key in
       let old = t.saved_spl in
       t.saved_spl <- level;
       old
@@ -247,7 +334,7 @@ let set_spl level =
 let get_spl () =
   match ctx () with
   | Some (c, _) -> c.spl
-  | None -> (Lazy.force external_identity).saved_spl
+  | None -> (Domain.DLS.get external_identity_key).saved_spl
 
 let spin_hint s =
   match ctx () with
@@ -281,9 +368,13 @@ module Cell = struct
     e.bus_free_at <- start + e.cfg.bus_occupancy;
     e.st.m_bus <- e.st.m_bus + 1
 
+  (* Bumping the version invalidates every cpu's cached copy by itself:
+     a stale slot holds an older version and can never compare equal
+     again.  (The previous implementation also memset the whole per-cpu
+     array on every write -- 64 stores on the hottest path in the
+     machine, all redundant.) *)
   let invalidate t writer_cpu =
     t.version <- t.version + 1;
-    Array.fill t.cached 0 max_cpus (-1);
     if writer_cpu >= 0 then t.cached.(writer_cpu) <- t.version
 
   let maybe_preempt e =
@@ -291,7 +382,7 @@ module Cell = struct
       Effect.perform Pause_eff
 
   let get t =
-    match !the_engine with
+    match the_engine () with
     | None -> t.v
     | Some e -> (
         match e.cur with
@@ -309,7 +400,7 @@ module Cell = struct
             v)
 
   let set t v =
-    (match !the_engine with
+    (match the_engine () with
     | None -> t.v <- v
     | Some e -> (
         match e.cur with
@@ -329,7 +420,7 @@ module Cell = struct
      while a failed compare-and-swap does not take the line exclusive.
      Only an actual value change counts as progress for the watchdog. *)
   let atomic_op t ~stores f =
-    match !the_engine with
+    match the_engine () with
     | None ->
         let old = t.v in
         t.v <- f old;
@@ -373,20 +464,30 @@ end
 (* Threads                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let thread_counter_per_run = ref 0
+(* Enqueue preserving the old single-list FIFO semantics: the stamp
+   records global arrival order; bound threads go to their cpu's queue
+   (or limbo when the cpu does not exist -- such a thread can never be
+   dispatched, exactly as before, but still shows up in reports). *)
+let enqueue e t =
+  t.enq_seq <- e.enq_ctr;
+  e.enq_ctr <- e.enq_ctr + 1;
+  match t.bound with
+  | None -> Tq.push e.anyq t
+  | Some b when b >= 0 && b < Array.length e.cpus -> Tq.push e.boundq.(b) t
+  | Some _ -> Tq.push e.limbo t
 
 let spawn ?name ?bound f =
   let e = eng_exn () in
-  incr thread_counter_per_run;
+  e.name_ctr <- e.name_ctr + 1;
   let tname =
     match name with
     | Some n -> n
-    | None -> Printf.sprintf "thread%d" !thread_counter_per_run
+    | None -> Printf.sprintf "thread%d" e.name_ctr
   in
   let t = make_thread ~bound tname in
   t.start <- Some f;
   t.ready_clock <- (match e.cur with Some (c, _) -> c.clock | None -> 0);
-  e.runq <- e.runq @ [ t ];
+  enqueue e t;
   e.threads <- t :: e.threads;
   e.live <- e.live + 1;
   e.st.m_spawned <- e.st.m_spawned + 1;
@@ -395,7 +496,7 @@ let spawn ?name ?bound f =
   t
 
 let unpark t =
-  match !the_engine with
+  match the_engine () with
   | None -> () (* outside simulation: nothing can be parked *)
   | Some e -> (
       match t.state with
@@ -403,7 +504,7 @@ let unpark t =
           t.state <- Runnable;
           t.ready_clock <-
             (match e.cur with Some (c, _) -> c.clock | None -> 0);
-          e.runq <- e.runq @ [ t ];
+          enqueue e t;
           e.st.m_unparks <- e.st.m_unparks + 1;
           productive e;
           trace (Obs_event.Unpark { thread = t.tname })
@@ -467,34 +568,27 @@ let post_interrupt ?(name = "ipi") ~cpu ~level handler =
     }
   in
   let c = e.cpus.(cpu) in
-  c.pending <- c.pending @ [ i ];
+  let r = Spl.rank level in
+  Tq.push c.pend.(r) i;
+  c.pend_mask <- c.pend_mask lor (1 lsl r);
+  c.pend_count <- c.pend_count + 1;
   productive e;
   trace (Obs_event.Intr_post { name; cpu; level = Spl.to_string level })
 
 let pending_interrupts ~cpu =
   let e = eng_exn () in
-  List.length e.cpus.(cpu).pending
+  e.cpus.(cpu).pend_count
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let deliverable c =
-  List.exists (fun i -> not (Spl.masks ~at:c.spl i.ilevel)) c.pending
+(* An interrupt is deliverable iff some pending level is strictly above
+   the cpu's current spl: one shift of the level bitmask. *)
+let deliverable c = c.pend_mask lsr (Spl.rank c.spl + 1) <> 0
 
 let dispatchable e c =
-  List.exists
-    (fun t -> match t.bound with None -> true | Some b -> b = c.idx)
-    e.runq
-
-type action = Deliver | Resume | Dispatch
-
-let cpu_action e c =
-  if deliverable c then Some Deliver
-  else
-    match c.frames with
-    | _ :: _ -> Some Resume
-    | [] -> if dispatchable e c then Some Dispatch else None
+  not (Tq.is_empty e.anyq && Tq.is_empty e.boundq.(c.idx))
 
 let finish_frame e (c : cpu) (f : frame) =
   (match c.frames with
@@ -601,52 +695,61 @@ let resume e c =
       e.cur <- None)
 
 let deliver e c =
-  (* Highest-priority deliverable interrupt first. *)
-  let best =
-    List.fold_left
-      (fun acc i ->
-        if Spl.masks ~at:c.spl i.ilevel then acc
-        else
-          match acc with
-          | Some b when Spl.rank b.ilevel >= Spl.rank i.ilevel -> acc
-          | _ -> Some i)
-      None c.pending
+  (* Highest-priority deliverable level; FIFO within the level (this is
+     the order the old single pending list produced). *)
+  let base = Spl.rank c.spl in
+  let rec find r =
+    if r <= base then fatal "internal: deliver with nothing deliverable"
+    else if Tq.is_empty c.pend.(r) then find (r - 1)
+    else r
   in
-  match best with
-  | None -> fatal "internal: deliver with nothing deliverable"
-  | Some i ->
-      c.pending <- List.filter (fun i' -> i' != i) c.pending;
-      i.isaved_spl <- c.spl;
-      c.spl <- i.ilevel;
-      c.frames <- Fintr i :: c.frames;
-      c.clock <- c.clock + e.cfg.interrupt_cost;
-      e.st.m_intrs <- e.st.m_intrs + 1;
-      productive e;
-      e.cur <- Some (c, Fintr i);
-      trace
-        (Obs_event.Intr_deliver
-           { name = i.iname; level = Spl.to_string i.ilevel });
-      e.cur <- None
+  let r = find (n_spl - 1) in
+  let i = Tq.pop c.pend.(r) in
+  if Tq.is_empty c.pend.(r) then c.pend_mask <- c.pend_mask land lnot (1 lsl r);
+  c.pend_count <- c.pend_count - 1;
+  i.isaved_spl <- c.spl;
+  c.spl <- i.ilevel;
+  c.frames <- Fintr i :: c.frames;
+  c.clock <- c.clock + e.cfg.interrupt_cost;
+  e.st.m_intrs <- e.st.m_intrs + 1;
+  productive e;
+  e.cur <- Some (c, Fintr i);
+  trace
+    (Obs_event.Intr_deliver
+       { name = i.iname; level = Spl.to_string i.ilevel });
+  e.cur <- None
+
+(* Dispatch whichever eligible head (unbound, or bound to this cpu) was
+   enqueued first -- identical to scanning the old global FIFO for the
+   first thread this cpu may run. *)
+let take_thread e c =
+  let bq = e.boundq.(c.idx) in
+  if Tq.is_empty bq then Tq.pop e.anyq
+  else if Tq.is_empty e.anyq then Tq.pop bq
+  else if (Tq.peek e.anyq).enq_seq < (Tq.peek bq).enq_seq then Tq.pop e.anyq
+  else Tq.pop bq
 
 let dispatch e c =
-  let rec take acc = function
-    | [] -> None
-    | t :: rest -> (
-        match t.bound with
-        | Some b when b <> c.idx -> take (t :: acc) rest
-        | _ -> Some (t, List.rev_append acc rest))
-  in
-  match take [] e.runq with
-  | None -> fatal "internal: dispatch with empty run queue"
-  | Some (t, rest) ->
-      e.runq <- rest;
-      t.on_cpu <- c.idx;
-      c.clock <- max c.clock t.ready_clock + e.cfg.context_switch_cost;
-      c.spl <- t.saved_spl;
-      c.frames <- [ Fthread t ];
-      e.st.m_switches <- e.st.m_switches + 1;
-      productive e;
-      trace (Obs_event.Dispatch { thread = t.tname; cpu = c.idx })
+  if not (dispatchable e c) then
+    fatal "internal: dispatch with empty run queue";
+  let t = take_thread e c in
+  t.on_cpu <- c.idx;
+  c.clock <- max c.clock t.ready_clock + e.cfg.context_switch_cost;
+  c.spl <- t.saved_spl;
+  c.frames <- [ Fthread t ];
+  e.st.m_switches <- e.st.m_switches + 1;
+  productive e;
+  trace (Obs_event.Dispatch { thread = t.tname; cpu = c.idx })
+
+(* All queued-but-not-running threads in global enqueue order (the order
+   the old single run-queue list reported). *)
+let runq_threads e =
+  let acc = ref [] in
+  let add t = acc := t :: !acc in
+  Tq.iter add e.anyq;
+  Array.iter (Tq.iter add) e.boundq;
+  Tq.iter add e.limbo;
+  List.sort (fun a b -> compare a.enq_seq b.enq_seq) !acc
 
 let all_threads_report e =
   let buf = Buffer.create 256 in
@@ -668,11 +771,11 @@ let all_threads_report e =
                      | Some h -> " (spinning on " ^ h ^ ")"
                      | None -> "")
                  c.frames))
-           (List.length c.pending)))
+           c.pend_count))
     e.cpus;
   Buffer.add_string buf
     (Printf.sprintf "  runq=[%s]\n"
-       (String.concat "; " (List.map (fun t -> t.tname) e.runq)));
+       (String.concat "; " (List.map (fun t -> t.tname) (runq_threads e))));
   let parked = List.filter (fun t -> t.state = Parked) e.threads in
   Buffer.add_string buf
     (Printf.sprintf "  parked=[%s]\n"
@@ -699,19 +802,42 @@ let mkstats e =
     spin_pauses = e.st.m_spin_pauses;
   }
 
-let pick_cpu e candidates =
+(* Fill the scratch candidate arrays; returns the candidate count.
+   Candidates appear in ascending cpu order, as the old list did. *)
+let collect_candidates e =
+  let n = Array.length e.cpus in
+  let m = ref 0 in
+  for idx = 0 to n - 1 do
+    let c = e.cpus.(idx) in
+    let a =
+      if deliverable c then 1
+      else
+        match c.frames with
+        | _ :: _ -> 2
+        | [] -> if dispatchable e c then 3 else 0
+    in
+    e.act.(idx) <- a;
+    if a <> 0 then begin
+      e.cand.(!m) <- idx;
+      incr m
+    end
+  done;
+  !m
+
+(* Choose a candidate cpu index.  Each policy consumes the RNG exactly as
+   the list-based picker did, so (seed, cfg) schedules are unchanged. *)
+let pick_cpu e m =
   match e.cfg.policy with
-  | Sim_config.Random_policy ->
-      List.nth candidates (Sim_rng.int e.rng (List.length candidates))
+  | Sim_config.Random_policy -> e.cand.(Sim_rng.int e.rng m)
   | Sim_config.Round_robin ->
       let n = Array.length e.cpus in
       let rec scan k =
         let idx = (e.rr_next + k) mod n in
-        match List.find_opt (fun (c, _) -> c.idx = idx) candidates with
-        | Some choice ->
-            e.rr_next <- (idx + 1) mod n;
-            choice
-        | None -> scan (k + 1)
+        if e.act.(idx) <> 0 then begin
+          e.rr_next <- (idx + 1) mod n;
+          idx
+        end
+        else scan (k + 1)
       in
       scan 0
   | Sim_config.Timed ->
@@ -720,14 +846,22 @@ let pick_cpu e candidates =
          two contenders can phase-lock into a deterministic cycle where
          one always samples a lock while the other holds it (a livelock
          real machines escape through timing noise). *)
-      let minimum =
-        List.fold_left (fun acc (c, _) -> min acc c.clock) max_int candidates
-      in
+      let minimum = ref max_int in
+      for k = 0 to m - 1 do
+        let clk = e.cpus.(e.cand.(k)).clock in
+        if clk < !minimum then minimum := clk
+      done;
       let window = (2 * e.cfg.atomic_cost) + (2 * e.cfg.bus_occupancy) in
-      let near =
-        List.filter (fun (c, _) -> c.clock <= minimum + window) candidates
-      in
-      List.nth near (Sim_rng.int e.rng (List.length near))
+      let limit = !minimum + window in
+      let p = ref 0 in
+      for k = 0 to m - 1 do
+        let idx = e.cand.(k) in
+        if e.cpus.(idx).clock <= limit then begin
+          e.near.(!p) <- idx;
+          incr p
+        end
+      done;
+      e.near.(Sim_rng.int e.rng !p)
 
 let sched_loop e =
   let watchdog_fired () =
@@ -745,49 +879,66 @@ let sched_loop e =
       | Some limit when e.st.m_steps >= limit -> raise Step_limit
       | _ -> ());
       if e.stale > e.cfg.watchdog_steps then watchdog_fired ();
-      let candidates =
-        Array.fold_right
-          (fun c acc ->
-            match cpu_action e c with
-            | Some a -> (c, a) :: acc
-            | None -> acc)
-          e.cpus []
-      in
-      match candidates with
-      | [] ->
-          let report =
-            "all cpus idle, run queue empty, but "
-            ^ string_of_int e.live
-            ^ " thread(s) still parked; machine state:\n"
-            ^ all_threads_report e
-          in
-          raise (Deadlock (Sleep_deadlock, report))
-      | _ ->
-          e.st.m_steps <- e.st.m_steps + 1;
-          e.stale <- e.stale + 1;
-          let c, a = pick_cpu e candidates in
-          (match a with
-          | Deliver -> deliver e c
-          | Resume -> resume e c
-          | Dispatch -> dispatch e c);
-          loop ()
+      let m = collect_candidates e in
+      if m = 0 then begin
+        let report =
+          "all cpus idle, run queue empty, but "
+          ^ string_of_int e.live
+          ^ " thread(s) still parked; machine state:\n"
+          ^ all_threads_report e
+        in
+        raise (Deadlock (Sleep_deadlock, report))
+      end
+      else begin
+        e.st.m_steps <- e.st.m_steps + 1;
+        e.stale <- e.stale + 1;
+        let idx = pick_cpu e m in
+        let c = e.cpus.(idx) in
+        (match e.act.(idx) with
+        | 1 -> deliver e c
+        | 2 -> resume e c
+        | _ -> dispatch e c);
+        loop ()
+      end
     end
   in
   loop ()
 
+let dummy_intr =
+  {
+    iname = "(none)";
+    ilevel = Spl.Spl0;
+    ihandler = None;
+    icont = None;
+    isaved_spl = Spl.Spl0;
+    ihint = None;
+  }
+
 let run ?(cfg = Sim_config.default) main =
-  if !the_engine <> None then
+  if the_engine () <> None then
     invalid_arg "Sim_engine.run: a simulation is already running";
   if cfg.cpus < 1 || cfg.cpus > max_cpus then
     invalid_arg "Sim_engine.run: cpu count out of range";
+  let qdummy = make_thread "(none)" in
   let e =
     {
       cfg;
       rng = Sim_rng.make cfg.seed;
       cpus =
         Array.init cfg.cpus (fun idx ->
-            { idx; clock = 0; spl = Spl.Spl0; frames = []; pending = [] });
-      runq = [];
+            {
+              idx;
+              clock = 0;
+              spl = Spl.Spl0;
+              frames = [];
+              pend = Array.init n_spl (fun _ -> Tq.make dummy_intr);
+              pend_mask = 0;
+              pend_count = 0;
+            });
+      anyq = Tq.make qdummy;
+      boundq = Array.init cfg.cpus (fun _ -> Tq.make qdummy);
+      limbo = Tq.make qdummy;
+      enq_ctr = 0;
       threads = [];
       live = 0;
       stale = 0;
@@ -810,33 +961,36 @@ let run ?(cfg = Sim_config.default) main =
         };
       cur = None;
       rr_next = 0;
+      name_ctr = 0;
       idle_identity =
         Array.init cfg.cpus (fun i ->
             make_thread (Printf.sprintf "cpu%d-idle" i));
+      cand = Array.make cfg.cpus 0;
+      act = Array.make cfg.cpus 0;
+      near = Array.make cfg.cpus 0;
     }
   in
-  thread_counter_per_run := 0;
-  the_engine := Some e;
+  Domain.DLS.set engine_key (Some e);
   (* Core layers (locks, events, refcounts) emit typed events through the
-     global [Obs_trace] sink without knowing about the engine; route them
-     into this run's trace. *)
+     domain's [Obs_trace] sink without knowing about the engine; route
+     them into this run's trace. *)
   Obs_trace.set_sink (Some trace);
   Obs_trace.set_enabled cfg.trace;
   let finish () =
-    last_run_trace := Sim_trace.events e.trace;
+    Domain.DLS.set last_trace_key (Sim_trace.events e.trace);
     Obs_trace.set_enabled false;
-    the_engine := None
+    Domain.DLS.set engine_key None
   in
   match
     ignore (spawn ~name:"main" main);
     sched_loop e
   with
   | stats ->
-      last_run_stats := Some stats;
+      Domain.DLS.set last_stats_key (Some stats);
       finish ();
       stats
   | exception exn ->
-      last_run_stats := Some (mkstats e);
+      Domain.DLS.set last_stats_key (Some (mkstats e));
       finish ();
       raise exn
 
@@ -854,18 +1008,18 @@ let run_outcome ?cfg main =
   | exception Step_limit -> Hit_step_limit
 
 let trace_events () =
-  match !the_engine with
+  match the_engine () with
   | Some e -> Sim_trace.events e.trace
-  | None -> !last_run_trace
+  | None -> Domain.DLS.get last_trace_key
 
-let last_stats () = !last_run_stats
+let last_stats () = Domain.DLS.get last_stats_key
 
 let live_threads () =
-  match !the_engine with Some e -> e.live | None -> 0
+  match the_engine () with Some e -> e.live | None -> 0
 
 (* spin pauses are counted where the machine layer calls [pause]; expose a
    hook for Sim_machine. *)
 let count_spin_pause () =
-  match !the_engine with
+  match the_engine () with
   | Some e -> e.st.m_spin_pauses <- e.st.m_spin_pauses + 1
   | None -> ()

@@ -97,6 +97,11 @@ val in_interrupt : unit -> bool
 val set_spl : Mach_core.Spl.t -> Mach_core.Spl.t
 val get_spl : unit -> Mach_core.Spl.t
 val spin_hint : string -> unit
+
+val spin_max_backoff : unit -> int
+(** The running configuration's [spin_max_backoff] (the default cap when
+    no simulation is running). *)
+
 val fatal : string -> 'a
 
 (** {1 Interrupts} *)

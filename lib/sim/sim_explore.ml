@@ -17,42 +17,87 @@ let pp_verdict ppf v =
 
 let default_seeds = List.init 100 (fun i -> i + 1)
 
-let run ?(cpus = 4) ?policy ?(seeds = default_seeds) ?(tweak = Fun.id)
-    scenario =
+let empty_verdict =
+  {
+    seeds_run = 0;
+    completed = 0;
+    sleep_deadlocks = 0;
+    spin_deadlocks = 0;
+    panics = 0;
+    step_limits = 0;
+    failures = [];
+  }
+
+let max_failures = 16
+
+(* Fold one outcome into the tally.  Outcomes arrive in seed order;
+   failure reports accumulate in *reverse* order here (cheap prepend) and
+   [finish] flips them, so the verdict carries the first 16 failing
+   seeds, ascending. *)
+let tally v (seed, outcome) =
+  let add_failure report v =
+    if List.length v.failures >= max_failures then v
+    else { v with failures = (seed, report) :: v.failures }
+  in
+  let v = { v with seeds_run = v.seeds_run + 1 } in
+  match outcome with
+  | Sim_engine.Completed _ -> { v with completed = v.completed + 1 }
+  | Sim_engine.Deadlocked (Sim_engine.Sleep_deadlock, r) ->
+      add_failure r { v with sleep_deadlocks = v.sleep_deadlocks + 1 }
+  | Sim_engine.Deadlocked (Sim_engine.Spin_deadlock, r) ->
+      add_failure r { v with spin_deadlocks = v.spin_deadlocks + 1 }
+  | Sim_engine.Panicked r -> add_failure r { v with panics = v.panics + 1 }
+  | Sim_engine.Hit_step_limit ->
+      add_failure "step limit" { v with step_limits = v.step_limits + 1 }
+
+let finish v = { v with failures = List.rev v.failures }
+
+(* Run [f] on each element of [jobs] across [domains] domains and return
+   the results in input order.  Work-stealing over a shared index: domains
+   grab the next unclaimed job, so an uneven mix of long and short seeds
+   still load-balances.  Each result lands in its input slot, making the
+   merge a left fold in seed order — observably identical to the
+   sequential fold regardless of which domain ran which seed. *)
+let parallel_map ~domains jobs f =
+  let n = Array.length jobs in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec grab () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f jobs.(i));
+        grab ()
+      end
+    in
+    grab ()
+  in
+  let spawned =
+    List.init (domains - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join spawned;
+  Array.map
+    (function Some r -> r | None -> invalid_arg "parallel_map: missing")
+    results
+
+let run ?(cpus = 4) ?policy ?(seeds = default_seeds) ?(domains = 1)
+    ?(tweak = Fun.id) scenario =
+  if domains < 1 then invalid_arg "Sim_explore.run: domains < 1";
   let outcome_of seed =
     let cfg = Sim_config.exploration ~cpus ~seed () in
     let cfg =
       match policy with Some p -> { cfg with Sim_config.policy = p } | None -> cfg
     in
-    Sim_engine.run_outcome ~cfg:(tweak cfg) scenario
+    (seed, Sim_engine.run_outcome ~cfg:(tweak cfg) scenario)
   in
-  List.fold_left
-    (fun v seed ->
-      let add_failure report v =
-        if List.length v.failures >= 16 then v
-        else { v with failures = (seed, report) :: v.failures }
-      in
-      let v = { v with seeds_run = v.seeds_run + 1 } in
-      match outcome_of seed with
-      | Sim_engine.Completed _ -> { v with completed = v.completed + 1 }
-      | Sim_engine.Deadlocked (Sim_engine.Sleep_deadlock, r) ->
-          add_failure r { v with sleep_deadlocks = v.sleep_deadlocks + 1 }
-      | Sim_engine.Deadlocked (Sim_engine.Spin_deadlock, r) ->
-          add_failure r { v with spin_deadlocks = v.spin_deadlocks + 1 }
-      | Sim_engine.Panicked r ->
-          add_failure r { v with panics = v.panics + 1 }
-      | Sim_engine.Hit_step_limit ->
-          add_failure "step limit" { v with step_limits = v.step_limits + 1 })
-    {
-      seeds_run = 0;
-      completed = 0;
-      sleep_deadlocks = 0;
-      spin_deadlocks = 0;
-      panics = 0;
-      step_limits = 0;
-      failures = [];
-    }
-    seeds
+  let outcomes =
+    if domains = 1 then List.map outcome_of seeds
+    else
+      Array.to_list
+        (parallel_map ~domains (Array.of_list seeds) outcome_of)
+  in
+  finish (List.fold_left tally empty_verdict outcomes)
 
 let all_completed v = v.completed = v.seeds_run && v.panics = 0
 

@@ -12,8 +12,8 @@ type verdict = {
   panics : int;
   step_limits : int;
   failures : (int * string) list;
-      (** (seed, report) for each non-completed outcome, most recent
-          first; capped at 16 reports. *)
+      (** (seed, report) for the first 16 non-completed outcomes, in
+          ascending seed order. *)
 }
 
 val pp_verdict : Format.formatter -> verdict -> unit
@@ -22,12 +22,19 @@ val run :
   ?cpus:int ->
   ?policy:Sim_config.policy ->
   ?seeds:int list ->
+  ?domains:int ->
   ?tweak:(Sim_config.t -> Sim_config.t) ->
   (unit -> unit) ->
   verdict
 (** [run scenario] executes the scenario once per seed (default seeds
     1..100) under the exploration configuration and tallies outcomes.
-    [tweak] post-processes the configuration (e.g. to bound steps). *)
+    [tweak] post-processes the configuration (e.g. to bound steps).
+
+    [domains] (default 1) fans the seeds out across that many OCaml
+    domains.  Each seed's simulation is single-domain deterministic and
+    the merge preserves seed order, so the verdict — counts and failure
+    reports alike — is identical to the sequential run for every
+    [domains] value. *)
 
 val all_completed : verdict -> bool
 val some_deadlock : verdict -> bool

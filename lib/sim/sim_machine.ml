@@ -20,6 +20,7 @@ let spin_pause () =
   Sim_engine.pause ()
 
 let spin_hint = Sim_engine.spin_hint
+let spin_max_backoff = Sim_engine.spin_max_backoff
 let park = Sim_engine.park
 let unpark = Sim_engine.unpark
 let set_spl = Sim_engine.set_spl

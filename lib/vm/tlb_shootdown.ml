@@ -10,17 +10,23 @@ let max_cpus = 64
 
 (* Per-cpu count of threads attempting/holding pmap locks.  Only the
    owning cpu updates its slot (pmap code runs at splvm, so it cannot be
-   preempted off the cpu mid-update). *)
-let critical = Array.make max_cpus 0
+   preempted off the cpu mid-update).  The array is domain-local: the
+   "cpus" are one simulator engine's virtual cpus, and engines in other
+   domains (parallel seed sweeps) have their own counts. *)
+let critical_key : int array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make max_cpus 0)
 
-let note_pmap_critical_enter ~cpu = critical.(cpu) <- critical.(cpu) + 1
+let note_pmap_critical_enter ~cpu =
+  let critical = Domain.DLS.get critical_key in
+  critical.(cpu) <- critical.(cpu) + 1
 
 let note_pmap_critical_exit ~cpu =
+  let critical = Domain.DLS.get critical_key in
   if critical.(cpu) <= 0 then
     Engine.fatal "tlb_shootdown: unbalanced pmap-critical exit";
   critical.(cpu) <- critical.(cpu) - 1
 
-let in_pmap_critical ~cpu = critical.(cpu) > 0
+let in_pmap_critical ~cpu = (Domain.DLS.get critical_key).(cpu) > 0
 
 let performed = Atomic.make 0
 let shootdowns_performed () = Atomic.get performed

@@ -1,0 +1,19 @@
+(* Regenerate test/golden/determinism.expected from the current engine.
+   Run from the repository root:
+
+     dune exec test/gen_golden.exe -- test/golden/determinism.expected
+
+   With no argument the rendering is printed to stdout.  Only commit a
+   regenerated expectation when a schedule change is intentional: the
+   whole point of the golden file is that engine refactors keep the
+   (seed, cfg) -> stats mapping byte-identical. *)
+
+let () =
+  let text = Test_support.Golden_scenarios.render () in
+  match Sys.argv with
+  | [| _; path |] ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length text)
+  | _ -> print_string text

@@ -24,3 +24,6 @@ let wait_until pred =
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+
+(* Re-export for the golden-determinism generator and test. *)
+module Golden_scenarios = Golden_scenarios

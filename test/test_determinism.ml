@@ -1,0 +1,165 @@
+(* Golden determinism regression + parallel-exploration equivalence.
+
+   The golden test pins the exact (seed, cfg) -> stats mapping of the
+   simulated machine across three scenario families; see
+   test/support/golden_scenarios.ml.  The exploration tests check that
+   [Sim_explore.run ~domains:n] is observably identical to the
+   sequential fold for every n. *)
+
+module Engine = Mach_sim.Sim_engine
+module Config = Mach_sim.Sim_config
+module Explore = Mach_sim.Sim_explore
+module Golden = Test_support.Golden_scenarios
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_golden_stats () =
+  let expected = read_file "golden/determinism.expected" in
+  let actual = Golden.render () in
+  if String.equal expected actual then ()
+  else begin
+    Printf.printf
+      "golden mismatch.\n--- expected ---\n%s--- actual ---\n%s" expected
+      actual;
+    Alcotest.fail
+      "golden (seed, cfg) -> stats changed; if intentional, regenerate \
+       with `dune exec test/gen_golden.exe -- test/golden/determinism.expected`"
+  end
+
+let test_repeat_identical () =
+  (* The same process, run twice: the engine must not leak state between
+     runs (per-run counters, caches, traces). *)
+  let a = Golden.render () in
+  let b = Golden.render () in
+  Alcotest.(check string) "second render identical" a b
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration equivalence                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* All locks named explicitly: failure reports quote lock names, and
+   unnamed locks embed a process-global allocation id that depends on run
+   order.  Named locks make the verdict (including report strings)
+   independent of which domain ran which seed. *)
+let clean_scenario () =
+  let module K = Mach_ksync.Ksync in
+  let l = K.Slock.make ~name:"clean" () in
+  let c = Engine.Cell.make ~name:"n" 0 in
+  let ts =
+    List.init 3 (fun _ ->
+        Engine.spawn (fun () ->
+            for _ = 1 to 5 do
+              K.Slock.lock l;
+              ignore (Engine.Cell.fetch_and_add c 1);
+              K.Slock.unlock l
+            done))
+  in
+  List.iter Engine.join ts
+
+(* AB/BA ordering bug: deadlocks on some schedules, completes on others —
+   the mixed-outcome case the failure list must report identically. *)
+let abba_scenario () =
+  let module K = Mach_ksync.Ksync in
+  let a = K.Slock.make ~name:"A" () in
+  let b = K.Slock.make ~name:"B" () in
+  let forward () =
+    for _ = 1 to 3 do
+      K.Slock.lock a;
+      Engine.cycles 10;
+      K.Slock.lock b;
+      Engine.cycles 10;
+      K.Slock.unlock b;
+      K.Slock.unlock a;
+      Engine.pause ()
+    done
+  in
+  let backward () =
+    for _ = 1 to 3 do
+      K.Slock.lock b;
+      Engine.cycles 10;
+      K.Slock.lock a;
+      Engine.cycles 10;
+      K.Slock.unlock a;
+      K.Slock.unlock b;
+      Engine.pause ()
+    done
+  in
+  let t1 = Engine.spawn ~name:"fwd" forward in
+  let t2 = Engine.spawn ~name:"bwd" backward in
+  Engine.join t1;
+  Engine.join t2
+
+let verdict_testable =
+  let pp ppf (v : Explore.verdict) =
+    Format.fprintf ppf "%a failures=[%s]" Explore.pp_verdict v
+      (String.concat "; "
+         (List.map (fun (s, _) -> string_of_int s) v.Explore.failures))
+  in
+  Alcotest.testable pp ( = )
+
+let check_parallel_matches scenario ~seeds ~watchdog =
+  let tweak cfg = { cfg with Config.watchdog_steps = watchdog } in
+  let seeds = List.init seeds (fun s -> s + 1) in
+  let sequential = Explore.run ~cpus:3 ~seeds ~tweak scenario in
+  List.iter
+    (fun domains ->
+      let par = Explore.run ~cpus:3 ~seeds ~tweak ~domains scenario in
+      Alcotest.check verdict_testable
+        (Printf.sprintf "domains=%d verdict" domains)
+        sequential par)
+    [ 1; 2; 4 ]
+
+let test_parallel_equivalence_clean () =
+  check_parallel_matches clean_scenario ~seeds:24 ~watchdog:200_000
+
+let test_parallel_equivalence_mixed () =
+  let v =
+    Explore.run ~cpus:3
+      ~seeds:(List.init 40 (fun s -> s + 1))
+      ~tweak:(fun cfg -> { cfg with Config.watchdog_steps = 20_000 })
+      abba_scenario
+  in
+  (* The scenario must actually produce both outcomes, or the test below
+     proves nothing about failure aggregation. *)
+  Alcotest.(check bool) "some seeds deadlock" true (Explore.some_deadlock v);
+  Alcotest.(check bool) "some seeds complete" true (v.Explore.completed > 0);
+  check_parallel_matches abba_scenario ~seeds:40 ~watchdog:20_000
+
+let test_failures_first_ascending () =
+  (* Every seed of a guaranteed deadlock: the failure list must hold the
+     FIRST 16 seeds in ascending order (not the last 16 reversed). *)
+  let always_deadlock () = Engine.park () in
+  let v =
+    Explore.run ~cpus:2
+      ~seeds:(List.init 25 (fun s -> s + 1))
+      always_deadlock
+  in
+  Alcotest.(check int) "capped at 16" 16 (List.length v.Explore.failures);
+  Alcotest.(check (list int)) "first 16 seeds, ascending"
+    (List.init 16 (fun s -> s + 1))
+    (List.map fst v.Explore.failures)
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "stats byte-identical" `Quick test_golden_stats;
+          Alcotest.test_case "no cross-run state leak" `Quick
+            test_repeat_identical;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "parallel == sequential (all complete)" `Quick
+            test_parallel_equivalence_clean;
+          Alcotest.test_case "parallel == sequential (mixed outcomes)" `Quick
+            test_parallel_equivalence_mixed;
+          Alcotest.test_case "failure list: first 16 ascending" `Quick
+            test_failures_first_ascending;
+        ] );
+    ]
