@@ -1,7 +1,7 @@
 (* The experiment harness.
 
    "Locking and Reference Counting in the Mach Kernel" (ICPP 1991) is an
-   experience paper with no numbered tables or figures; experiments E1-E12
+   experience paper with no numbered tables or figures; experiments E1-E13
    below (defined in DESIGN.md, results recorded in EXPERIMENTS.md) each
    operationalize one of its qualitative claims.  Every invocation
    regenerates every table; pass experiment ids (e.g. `E1 E4`) to run a
@@ -879,6 +879,94 @@ module X1 = struct
 end
 
 (* ================================================================== *)
+(* E13: chaos fault injection: detection rate per fault class          *)
+(* ================================================================== *)
+
+module E13 = struct
+  module Chaos = Mach_chaos.Chaos
+  module Fault = Mach_chaos.Chaos_fault
+  module Cs = Mach_chaos.Chaos_scenarios
+
+  let seeds = 15
+
+  let detected_by (s : Chaos.sweep) =
+    match
+      List.filter_map
+        (fun (d, n) ->
+          if n > 0 && Chaos.detected d then Some (Chaos.detection_name d)
+          else None)
+        s.Chaos.counts
+    with
+    | [] -> "-"
+    | ds -> String.concat "+" ds
+
+  let run () =
+    section ~id:"E13"
+      ~title:"chaos fault injection: detection rate per fault class"
+      ~claim:
+        "seeded fault injection (lost/late/spurious wakeups, deferred \
+         interrupts, schedule perturbation, forced preemption) drives the \
+         hazards of sections 6-7 out of hiding, and the waits-for \
+         detector names the cycle or the orphaned waiter";
+    let rows = ref [] and json = ref [] in
+    List.iter
+      (fun (sname, scenario) ->
+        List.iter
+          (fun cls ->
+            let s =
+              Chaos.sweep ~cpus:4 ~seeds
+                ~faults:(Fault.mix ~intensity:2 [ cls ])
+                scenario
+            in
+            let first =
+              match s.Chaos.first_failure with
+              | Some r -> r.Chaos.seed
+              | None -> 0
+            in
+            rows :=
+              [
+                sname;
+                Fault.name cls;
+                i s.Chaos.runs;
+                f2 (Chaos.detection_rate s);
+                detected_by s;
+                (if first = 0 then "-" else i first);
+              ]
+              :: !rows;
+            json :=
+              Obs_json.Obj
+                [
+                  ("scenario", Obs_json.String sname);
+                  ("fault", Obs_json.String (Fault.name cls));
+                  ("runs", Obs_json.Int s.Chaos.runs);
+                  ("detection_rate", Obs_json.Float (Chaos.detection_rate s));
+                  ("detected_by", Obs_json.String (detected_by s));
+                  ("seeds_to_first_detection", Obs_json.Int first);
+                ]
+              :: !json)
+          Fault.all)
+      Cs.all;
+    table
+      ~header:
+        [
+          "scenario";
+          "fault class";
+          "runs";
+          "detection rate";
+          "detected by";
+          "first seed";
+        ]
+      (List.rev !rows);
+    let out = "BENCH_chaos.json" in
+    let oc = open_out out in
+    output_string oc
+      (Obs_json.to_string (Obs_json.Obj [ ("E13", Obs_json.List (List.rev !json)) ]));
+    output_char oc '\n';
+    close_out oc;
+    printf "\ndetection table written to %s\n" out
+end
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -895,6 +983,7 @@ let experiments =
     ("E10", E10.run);
     ("E11", E11.run);
     ("E12", E12.run);
+    ("E13", E13.run);
     ("X1", X1.run);
   ]
 

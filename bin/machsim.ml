@@ -405,10 +405,123 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available scenarios.") Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* chaos: fault injection + deadlock detection                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let chaos_cmd =
+  let module Chaos = Mach_chaos.Chaos in
+  let module Fault = Mach_chaos.Chaos_fault in
+  let module Cs = Mach_chaos.Chaos_scenarios in
+  let seeds_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Schedule seeds per sweep.")
+  in
+  let intensity_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "intensity"; "i" ] ~docv:"N"
+          ~doc:"Fault odds: each injected class fires with 1-in-$(docv) \
+                probability per opportunity.")
+  in
+  let run cpus seeds intensity =
+    let ok = ref true in
+    (* 1. The section 7 interrupt deadlock: no injection needed; the
+       detector must close the waits-for cycle. *)
+    Format.printf "== section 7 interrupt deadlock (no injection) ==@.";
+    (match
+       Chaos.find_first_failure ~cpus ~max_seeds:seeds ~faults:(Fault.mix [])
+         Cs.interrupt_deadlock
+     with
+    | Some r when contains r.Chaos.report "waits-for cycle" ->
+        Format.printf "seed %d: %s@.%s@." r.Chaos.seed
+          (Chaos.detection_name r.Chaos.detection)
+          r.Chaos.report
+    | Some r ->
+        ok := false;
+        Format.printf "seed %d: %s (no cycle diagnosed)@.%s@." r.Chaos.seed
+          (Chaos.detection_name r.Chaos.detection)
+          r.Chaos.report
+    | None ->
+        ok := false;
+        Format.printf "no deadlock within %d seeds@." seeds);
+    (* 2. The section 6 lost wakeup: a correct handoff protocol driven
+       into a hang by the drop-wakeup injection; the detector must name
+       the orphaned waiter.  Prefer the seed whose victim is the event
+       waiter itself (the canonical lost-wakeup trace). *)
+    Format.printf "@.== section 6 lost wakeup (drop-wakeup injection) ==@.";
+    let drop = Fault.mix ~intensity [ Fault.Drop_wakeup ] in
+    let first_lost = ref None and first_orphan = ref None in
+    let seed = ref 1 in
+    while !first_lost = None && !seed <= seeds do
+      let r = Chaos.run_one ~cpus ~seed:!seed ~faults:drop Cs.lost_wakeup_handoff in
+      (if Chaos.detected r.Chaos.detection then
+         if contains r.Chaos.report "never arrived" then first_lost := Some r
+         else if !first_orphan = None then first_orphan := Some r);
+      incr seed
+    done;
+    (match (!first_lost, !first_orphan) with
+    | Some r, _ | None, Some r ->
+        Format.printf "seed %d: %s@.%s@." r.Chaos.seed
+          (Chaos.detection_name r.Chaos.detection)
+          r.Chaos.report
+    | None, None ->
+        ok := false;
+        Format.printf "no lost wakeup within %d seeds@." seeds);
+    (* 3. Fault-mix minimization: start from every class at once and
+       shrink while the first failing seed keeps failing. *)
+    Format.printf "@.== first-failure minimization ==@.";
+    let full = Fault.mix ~intensity Fault.all in
+    (match
+       Chaos.find_first_failure ~cpus ~max_seeds:seeds ~faults:full
+         Cs.lost_wakeup_handoff
+     with
+    | Some r ->
+        let minimal = Chaos.minimize ~cpus ~seed:r.Chaos.seed ~faults:full
+                        Cs.lost_wakeup_handoff in
+        Format.printf "seed %d fails under {%s}; minimal mix {%s}@."
+          r.Chaos.seed
+          (String.concat ", " (List.map Fault.name (Fault.mix_classes full)))
+          (String.concat ", " (List.map Fault.name (Fault.mix_classes minimal)))
+    | None -> Format.printf "full mix produced no failure within %d seeds@." seeds);
+    (* 4. Detection-rate sweep: one row per fault class per scenario. *)
+    Format.printf "@.== detection sweep (%d seeds each) ==@." seeds;
+    Format.printf "%-22s %-18s %s@." "scenario" "fault class" "detections";
+    List.iter
+      (fun (sname, scenario) ->
+        List.iter
+          (fun cls ->
+            let s =
+              Chaos.sweep ~cpus ~seeds
+                ~faults:(Fault.mix ~intensity [ cls ])
+                scenario
+            in
+            Format.printf "%-22s %-18s %a@." sname (Fault.name cls)
+              Chaos.pp_sweep s)
+          Fault.all)
+      Cs.all;
+    if !ok then 0 else 1
+  in
+  let term = Term.(const run $ cpus_arg $ seeds_arg $ intensity_arg) in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection sweep with the waits-for deadlock detector: \
+          reproduce the section 7 interrupt deadlock and the section 6 \
+          lost wakeup, minimize a failing fault mix, and tally detection \
+          rates per fault class.")
+    term
+
 let () =
   let doc = "Drive the simulated Mach multiprocessor (locking/refcount repro)." in
   let info = Cmd.info "machsim" ~version:"1.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; explore_cmd; trace_cmd; profile_cmd; list_cmd ]))
+          [ run_cmd; explore_cmd; trace_cmd; profile_cmd; chaos_cmd; list_cmd ]))

@@ -1,0 +1,72 @@
+module Engine = Mach_sim.Sim_engine
+module K = Mach_ksync.Ksync
+
+(* A correct assert_wait / thread_block / thread_wakeup handoff (the
+   protocol section 6 prescribes): the producer publishes the datum, then
+   wakes the event; the consumer re-checks the condition around every
+   block, so no schedule alone can hang it.  Only an injected fault — a
+   dropped or lost wakeup — leaves the consumer parked forever, which is
+   exactly what the detector's orphaned-waiter analysis must explain. *)
+let lost_wakeup_handoff () =
+  let flag = Engine.Cell.make ~name:"handoff.flag" 0 in
+  let ev = K.Ev.fresh_event () in
+  let consumer =
+    Engine.spawn ~name:"consumer" (fun () ->
+        let rec wait () =
+          if Engine.Cell.get flag = 0 then begin
+            K.Ev.assert_wait ev;
+            if Engine.Cell.get flag = 0 then ignore (K.Ev.thread_block ())
+            else K.Ev.cancel_assert ();
+            wait ()
+          end
+        in
+        wait ())
+  in
+  let producer =
+    Engine.spawn ~name:"producer" (fun () ->
+        Engine.cycles 200;
+        Engine.Cell.set flag 1;
+        ignore (K.Ev.thread_wakeup ev))
+  in
+  Engine.join producer;
+  Engine.join consumer
+
+(* Several sleepers on one event woken by a single broadcast; widens the
+   window for drop/delay injections (each sleeper's unpark is a separate
+   opportunity). *)
+let wakeup_herd ?(sleepers = 4) () =
+  let flag = Engine.Cell.make ~name:"herd.flag" 0 in
+  let ev = K.Ev.fresh_event () in
+  let ts =
+    List.init sleepers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "sleeper%d" i) (fun () ->
+            let rec wait () =
+              if Engine.Cell.get flag = 0 then begin
+                K.Ev.assert_wait ev;
+                if Engine.Cell.get flag = 0 then ignore (K.Ev.thread_block ())
+                else K.Ev.cancel_assert ();
+                wait ()
+              end
+            in
+            wait ()))
+  in
+  let waker =
+    Engine.spawn ~name:"waker" (fun () ->
+        Engine.cycles 300;
+        Engine.Cell.set flag 1;
+        ignore (K.Ev.thread_wakeup ev))
+  in
+  Engine.join waker;
+  List.iter Engine.join ts
+
+(* The section 7 three-processor interrupt deadlock, undisciplined: the
+   canonical waits-for-cycle target. *)
+let interrupt_deadlock () =
+  Mach_kernel.Scenarios.interrupt_barrier_scenario ~disciplined:false ()
+
+let all =
+  [
+    ("interrupt-deadlock", interrupt_deadlock);
+    ("lost-wakeup-handoff", lost_wakeup_handoff);
+    ("wakeup-herd", fun () -> wakeup_herd ());
+  ]

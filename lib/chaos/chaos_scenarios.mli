@@ -1,0 +1,17 @@
+(** Target scenarios for the chaos harness.  The wakeup scenarios follow
+    the correct section 6 protocol — they hang only when a fault is
+    injected; the interrupt scenario is the section 7 bug and deadlocks on
+    some schedules with no injection at all. *)
+
+val lost_wakeup_handoff : unit -> unit
+(** One producer hands a flag to one consumer over an event. *)
+
+val wakeup_herd : ?sleepers:int -> unit -> unit
+(** [sleepers] threads on one event, woken by a single broadcast. *)
+
+val interrupt_deadlock : unit -> unit
+(** {!Mach_kernel.Scenarios.interrupt_barrier_scenario} with the same-spl
+    discipline off. *)
+
+val all : (string * (unit -> unit)) list
+(** Name-keyed registry for the CLI and the benchmarks. *)

@@ -17,6 +17,7 @@ struct
   let h_hold = Obs_metrics.histogram "lock.hold_cycles"
 
   type t = {
+    cl_id : int;
     interlock : Slock.t; (* protects every mutable field below *)
     event : E.event;
     lname : string;
@@ -41,9 +42,16 @@ struct
     let lname =
       match name with Some n -> n | None -> Printf.sprintf "lock%d" id
     in
+    let event = E.fresh_event () in
+    (* Sleep-mode waits surface as waits on [event]; alias the event back
+       to this lock so the deadlock detector names the lock, not a bare
+       event number. *)
+    Waits_for.note_event_resource ~event
+      (Waits_for.Clock { uid = id; name = lname });
     {
+      cl_id = id;
       interlock = Slock.make ~name:(lname ^ ".interlock") ();
-      event = E.fresh_event ();
+      event;
       lname;
       stats = Lock_stats.make ();
       want_write = false;
@@ -104,9 +112,24 @@ struct
       M.tls_set self ~key:k (M.tls_get self ~key:k + delta)
     end
 
+  let wf_res t = Waits_for.Clock { uid = t.cl_id; name = t.lname }
+
+  let wf_hold t =
+    if Waits_for.tracking () then
+      Waits_for.note_hold
+        ~tid:(M.thread_id (M.self ()))
+        ~tname:(M.thread_name (M.self ()))
+        (wf_res t)
+
+  let wf_release t =
+    if Waits_for.tracking () then
+      Waits_for.note_release ~tid:(M.thread_id (M.self ())) (wf_res t)
+
   (* Wait for the lock state to change.  Caller holds the interlock; it is
      released across the wait and reacquired before returning.  Sleep mode
-     blocks on the lock's event; spin mode busy-waits. *)
+     blocks on the lock's event (the event-to-lock alias recorded in [make]
+     lets the deadlock detector name the lock); spin mode busy-waits with
+     an explicit wait edge per round. *)
   let lock_wait t =
     if t.can_sleep then begin
       t.waiting <- true;
@@ -118,9 +141,17 @@ struct
     end
     else begin
       Slock.unlock t.interlock;
+      let tracking = Waits_for.tracking () in
+      if tracking then
+        Waits_for.note_wait
+          ~tid:(M.thread_id (M.self ()))
+          ~tname:(M.thread_name (M.self ()))
+          (wf_res t);
       M.spin_hint t.lname;
       M.spin_pause ();
-      Slock.lock t.interlock
+      Slock.lock t.interlock;
+      if tracking then
+        Waits_for.note_wait_done ~tid:(M.thread_id (M.self ())) (wf_res t)
     end
 
   (* Wake every thread blocked on the lock (Mach's wakeup is broadcast).
@@ -168,6 +199,7 @@ struct
       obs_acquire t ~waits:!waits
         ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0);
       bump_spin_held t 1;
+      wf_hold t;
       Slock.unlock t.interlock
     end
 
@@ -197,6 +229,7 @@ struct
       obs_acquire t ~waits:!waits
         ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0);
       bump_spin_held t 1;
+      wf_hold t;
       Slock.unlock t.interlock
     end
 
@@ -216,6 +249,7 @@ struct
       Lock_stats.record_upgrade t.stats ~success:false;
       if t.read_count = 0 then lock_wakeup t;
       bump_spin_held t (-1);
+      wf_release t;
       obs_release t ~held_cycles:0;
       Slock.unlock t.interlock;
       true
@@ -271,6 +305,7 @@ struct
         t.recursive_reads <- t.recursive_reads - 1
       else begin
         bump_spin_held t (-1);
+        wf_release t;
         obs_release t ~held_cycles:0
       end
     end
@@ -280,12 +315,14 @@ struct
       t.want_upgrade <- false;
       t.writer <- None;
       bump_spin_held t (-1);
+      wf_release t;
       obs_release t ~held_cycles:(max 0 (M.now_cycles () - t.write_acquired_at))
     end
     else if t.want_write then begin
       t.want_write <- false;
       t.writer <- None;
       bump_spin_held t (-1);
+      wf_release t;
       obs_release t ~held_cycles:(max 0 (M.now_cycles () - t.write_acquired_at))
     end
     else begin
@@ -312,6 +349,7 @@ struct
         Lock_stats.record_read t.stats;
         obs_acquire t ~waits:0 ~wait_cycles:0;
         bump_spin_held t 1;
+        wf_hold t;
         true
       end
     in
@@ -335,6 +373,7 @@ struct
         Lock_stats.record_write t.stats;
         obs_acquire t ~waits:0 ~wait_cycles:0;
         bump_spin_held t 1;
+        wf_hold t;
         true
       end
     in

@@ -102,6 +102,11 @@ struct
     w.wait_started <- M.now_cycles ();
     b.waiters <- b.waiters @ [ w ];
     Slock.unlock b.block;
+    if Waits_for.tracking () then
+      Waits_for.note_wait
+        ~tid:(M.thread_id (M.self ()))
+        ~tname:(M.thread_name (M.self ()))
+        (Waits_for.Event { id = ev });
     if Obs_trace.enabled () then
       Obs_trace.emit (Obs_event.Event_wait { event = ev });
     set_in_assert_wait true
@@ -150,11 +155,23 @@ struct
     in
     wait ()
 
+  (* The waker (not the waiter) retires the wait edge: the engine's
+     dropped-wakeup injection fires downstream in [M.unpark], so a waiter
+     whose edge was retired but that stays parked is precisely a lost
+     wakeup, and [Waits_for.last_event] names the event it was woken
+     from. *)
+  let wf_wait_done w ev =
+    if Waits_for.tracking () then
+      Waits_for.note_wait_done ~tid:(M.thread_id w.thread)
+        (Waits_for.Event { id = ev })
+
   (* Dequeue [w] from bucket [b] and mark it woken; caller holds b.block. *)
   let wake_locked b w result =
+    let ev = match w.event with Some e -> e | None -> null_event in
     b.waiters <- List.filter (fun w' -> w' != w) b.waiters;
     w.event <- None;
     w.state <- Woken result;
+    wf_wait_done w ev;
     M.unpark w.thread
 
   let cancel_assert () =
@@ -174,6 +191,7 @@ struct
             b.waiters <- List.filter (fun w' -> w' != w) b.waiters;
             w.event <- None;
             w.state <- Running;
+            wf_wait_done w ev;
             Slock.unlock b.block;
             set_in_assert_wait false
           end
@@ -195,6 +213,7 @@ struct
       (fun w ->
         w.event <- None;
         w.state <- Woken result;
+        wf_wait_done w ev;
         M.unpark w.thread)
       matching;
     Slock.unlock b.block;

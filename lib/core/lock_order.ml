@@ -8,20 +8,30 @@ struct
   let class_name c = c.cname
   let class_rank c = c.rank
 
-  (* Per-thread stack of held classes; consulted only from the owning
-     thread, but the table itself is shared. *)
-  let held : (int, cls list ref) Hashtbl.t = Hashtbl.create 64
-  let held_lock = Slock.make ~name:"lock-order-held" ()
+  (* Per-thread stack of held classes.  The table is domain-local: on
+     the simulated machine every fiber of a run shares one domain (and
+     the table operations contain no preemption points), while on the
+     native machine each thread is its own domain and only ever touches
+     its own table — so no lock is needed in either case.  Entries would
+     otherwise accumulate forever (thread ids are never reused within a
+     domain but runs are), so the engine's teardown clears the table via
+     the registered {!Run_reset} hook; stale stacks from a previous
+     Sim_explore seed can no longer produce phantom violations. *)
+  let held_key : (int, cls list ref) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+  let reset_held () = Hashtbl.reset (Domain.DLS.get held_key)
+  let () = Run_reset.register reset_held
 
   let my_stack () =
     let tid = M.thread_id (M.self ()) in
-    Slock.with_lock held_lock (fun () ->
-        match Hashtbl.find_opt held tid with
-        | Some r -> r
-        | None ->
-            let r = ref [] in
-            Hashtbl.add held tid r;
-            r)
+    let held = Domain.DLS.get held_key in
+    match Hashtbl.find_opt held tid with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.add held tid r;
+        r
 
   let violation_log : string list Atomic.t = Atomic.make []
   let fatal_violations = Atomic.make false
@@ -43,14 +53,24 @@ struct
 
   let note_acquire c =
     let stack = my_stack () in
-    (match !stack with
-    | top :: _ when top.rank > c.rank ->
+    (* Compare against the maximum rank held anywhere in the stack, not
+       just the most recent acquisition: holding [rank 1; rank 3] and
+       acquiring rank 2 is a violation against the rank-3 class even
+       though the top of the stack is rank 1. *)
+    let worst =
+      List.fold_left
+        (fun acc h ->
+          match acc with Some w when w.rank >= h.rank -> acc | _ -> Some h)
+        None !stack
+    in
+    (match worst with
+    | Some w when w.rank > c.rank ->
         record_violation
           (Printf.sprintf
              "lock order violation: thread %s acquired class %s (rank %d) \
               while holding class %s (rank %d)"
              (M.thread_name (M.self ()))
-             c.cname c.rank top.cname top.rank)
+             c.cname c.rank w.cname w.rank)
     | _ -> ());
     stack := c :: !stack
 
@@ -87,15 +107,22 @@ struct
       Slock.unlock b
     end
 
+  (* Between backouts, delay with the same capped exponential backoff as
+     the Ttas_backoff spin protocol: contending backout threads otherwise
+     retry in lockstep and burn bus bandwidth on doomed try_locks. *)
   let backout_lock_pair ~first ~second =
-    let rec attempt backouts =
+    let max_backoff = M.spin_max_backoff () in
+    let rec attempt backouts delay =
       Slock.lock first;
       if Slock.try_lock second then backouts
       else begin
         Slock.unlock first;
         M.spin_pause ();
-        attempt (backouts + 1)
+        for _ = 1 to delay do
+          M.cycles 1
+        done;
+        attempt (backouts + 1) (Stdlib.min (delay * 2) max_backoff)
       end
     in
-    attempt 0
+    attempt 0 1
 end

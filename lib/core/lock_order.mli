@@ -28,10 +28,16 @@ module Make
 
   val note_acquire : cls -> unit
   (** Record that the current thread acquired a lock of this class; if the
-      thread already holds a class of strictly greater rank, an order
-      violation is recorded. *)
+      thread already holds a class of strictly greater rank {e anywhere}
+      in its held stack, an order violation naming that class is
+      recorded. *)
 
   val note_release : cls -> unit
+
+  val reset_held : unit -> unit
+  (** Clear every thread's held-class stack (this domain).  Registered
+      with {!Run_reset} and run by the engine at teardown, so stacks from
+      finished runs cannot leak into the next seed. *)
 
   val violations : unit -> string list
   (** Violations recorded so far (most recent first). *)
@@ -54,6 +60,7 @@ module Make
   val backout_lock_pair : first:Slock.t -> second:Slock.t -> int
   (** Acquire [second] then [first] when convention orders them
       [first]-then-[second]: hold [second]... — concretely: lock [first];
-      a single attempt on [second]; on failure release [first] and retry.
+      a single attempt on [second]; on failure release [first] and retry
+      after a capped exponential backoff (the [spin_max_backoff] cap).
       Returns the number of backouts that were needed. *)
 end

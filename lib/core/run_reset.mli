@@ -1,0 +1,9 @@
+(** Per-run teardown hooks.
+
+    Modules holding state that must not survive from one simulation run
+    into the next register a reset hook once; the engine calls {!run} at
+    teardown.  Hooks run in registration order, in the domain that ran
+    the simulation (domain-local state resets apply to that domain). *)
+
+val register : (unit -> unit) -> unit
+val run : unit -> unit

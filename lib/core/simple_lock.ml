@@ -86,8 +86,18 @@ module Make (M : Machine_intf.MACHINE) = struct
     if Obs_trace.enabled () then
       Obs_trace.emit (Obs_event.Lock_release { lock = t.lname; held_cycles })
 
+  (* Waits-for edges are reported outside the [checking] gate: scenarios
+     that disable checking (the section-7 buggy variants) are exactly the
+     ones the deadlock detector must be able to explain. *)
+  let wf_res t = Waits_for.Slock { uid = t.id; name = t.lname }
+
   let note_acquired t =
     t.acquired_at <- M.now_cycles ();
+    if Waits_for.tracking () then
+      Waits_for.note_hold
+        ~tid:(M.thread_id (M.self ()))
+        ~tname:(M.thread_name (M.self ()))
+        (wf_res t);
     if checking () then begin
       check_spl t;
       t.holder <- Some (M.self ());
@@ -95,6 +105,8 @@ module Make (M : Machine_intf.MACHINE) = struct
     end
 
   let note_released t =
+    if Waits_for.tracking () then
+      Waits_for.note_release ~tid:(M.thread_id (M.self ())) (wf_res t);
     if checking () then begin
       (match t.holder with
       | Some h when M.equal_thread h (M.self ()) -> ()
@@ -125,7 +137,15 @@ module Make (M : Machine_intf.MACHINE) = struct
                   (M.thread_name h))
          | _ -> ());
       let t0 = M.now_cycles () in
+      let tracking = Waits_for.tracking () in
+      if tracking then
+        Waits_for.note_wait
+          ~tid:(M.thread_id (M.self ()))
+          ~tname:(M.thread_name (M.self ()))
+          (wf_res t);
       let spins = S.acquire ~hint:t.lname t.protocol t.cell in
+      if tracking then
+        Waits_for.note_wait_done ~tid:(M.thread_id (M.self ())) (wf_res t);
       let wait_cycles = if spins > 0 then max 0 (M.now_cycles () - t0) else 0 in
       Lock_stats.record_acquire t.stats ~contended:(spins > 0) ~spins;
       obs_acquire t ~spins ~wait_cycles;

@@ -21,6 +21,9 @@ type t =
   (* vm events *)
   | Tlb_shootdown_start of { initiator : int; participants : int; lazies : int }
   | Tlb_shootdown_done of { participants : int; cycles : int }
+  (* chaos / deadlock-detection events *)
+  | Chaos_inject of { kind : string; victim : string }
+  | Deadlock_note of { line : string }
   (* escape hatch for ad-hoc instrumentation *)
   | Raw of { tag : string; detail : string }
 
@@ -44,6 +47,8 @@ let name = function
   | Refcount_drop _ -> "Refcount_drop"
   | Tlb_shootdown_start _ -> "Tlb_shootdown_start"
   | Tlb_shootdown_done _ -> "Tlb_shootdown_done"
+  | Chaos_inject _ -> "Chaos_inject"
+  | Deadlock_note _ -> "Deadlock_note"
   | Raw { tag; _ } -> tag
 
 (* The short tags the string-tagged trace used; kept so text dumps look
@@ -68,6 +73,8 @@ let tag = function
   | Refcount_drop _ -> "ref-drop"
   | Tlb_shootdown_start _ -> "shoot-start"
   | Tlb_shootdown_done _ -> "shoot-done"
+  | Chaos_inject _ -> "chaos"
+  | Deadlock_note _ -> "deadlock"
   | Raw { tag; _ } -> tag
 
 let detail = function
@@ -97,6 +104,8 @@ let detail = function
         participants lazies
   | Tlb_shootdown_done { participants; cycles } ->
       Printf.sprintf "%d cpus released after %d cycles" participants cycles
+  | Chaos_inject { kind; victim } -> Printf.sprintf "%s -> %s" kind victim
+  | Deadlock_note { line } -> line
   | Raw { detail; _ } -> detail
 
 (* Structured payload as Chrome trace-event "args". *)
@@ -141,6 +150,9 @@ let args ev =
       ]
   | Tlb_shootdown_done { participants; cycles } ->
       [ ("participants", Int participants); ("cycles", Int cycles) ]
+  | Chaos_inject { kind; victim } ->
+      [ ("kind", String kind); ("victim", String victim) ]
+  | Deadlock_note { line } -> [ ("line", String line) ]
   | Raw { tag; detail } ->
       [ ("tag", String tag); ("detail", String detail) ]
 

@@ -30,6 +30,10 @@ type t =
   | Refcount_drop of { name : string; count : int }
   | Tlb_shootdown_start of { initiator : int; participants : int; lazies : int }
   | Tlb_shootdown_done of { participants : int; cycles : int }
+  | Chaos_inject of { kind : string; victim : string }
+      (** a fault-injection hook fired ([kind] names the fault class) *)
+  | Deadlock_note of { line : string }
+      (** one line of the deadlock detector's waits-for analysis *)
   | Raw of { tag : string; detail : string }
 
 val name : t -> string

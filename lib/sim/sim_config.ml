@@ -5,6 +5,38 @@ let policy_name = function
   | Round_robin -> "round-robin"
   | Timed -> "timed"
 
+(* Fault-injection odds: each field is a 1-in-N chance per opportunity
+   (0 = never).  Draws come from a dedicated chaos RNG seeded by
+   [fault_seed] (or the schedule seed when 0), so enabling a fault class
+   never consumes schedule randomness, and all-zero odds leave the run
+   byte-identical to an uninjected one. *)
+type faults = {
+  fault_seed : int;
+  drop_wakeup : int; (* unpark of a parked thread silently dropped *)
+  delay_wakeup : int; (* unpark deferred by [wakeup_delay_steps] steps *)
+  wakeup_delay_steps : int;
+  spurious_wakeup : int; (* per-step chance to unpark a random parked thread *)
+  delay_interrupt : int; (* deliverable interrupt deferred when possible *)
+  perturb_pick : int; (* per-step chance to pick a uniform-random candidate *)
+  preempt_on_acquire : int; (* forced preemption at test-and-set boundaries *)
+}
+
+let no_faults =
+  {
+    fault_seed = 0;
+    drop_wakeup = 0;
+    delay_wakeup = 0;
+    wakeup_delay_steps = 40;
+    spurious_wakeup = 0;
+    delay_interrupt = 0;
+    perturb_pick = 0;
+    preempt_on_acquire = 0;
+  }
+
+let faults_active f =
+  f.drop_wakeup > 0 || f.delay_wakeup > 0 || f.spurious_wakeup > 0
+  || f.delay_interrupt > 0 || f.perturb_pick > 0 || f.preempt_on_acquire > 0
+
 type t = {
   cpus : int;
   seed : int;
@@ -24,6 +56,8 @@ type t = {
   max_steps : int option;
   trace : bool;
   trace_capacity : int;
+  faults : faults;
+  track_waits : bool;
 }
 
 let default =
@@ -46,6 +80,8 @@ let default =
     max_steps = None;
     trace = false;
     trace_capacity = 65536;
+    faults = no_faults;
+    track_waits = false;
   }
 
 let exploration ?(cpus = 4) ~seed () =

@@ -15,6 +15,37 @@ type policy =
 
 val policy_name : policy -> string
 
+type faults = {
+  fault_seed : int;
+      (** seed of the dedicated chaos RNG; 0 = derive from the schedule
+          seed.  Fault draws never consume schedule randomness. *)
+  drop_wakeup : int;
+      (** 1-in-N chance (0 = never) that an unpark of a parked thread is
+          silently dropped — the lost-wakeup hazard of section 6 *)
+  delay_wakeup : int;
+      (** 1-in-N chance that an unpark is deferred *)
+  wakeup_delay_steps : int;
+      (** scheduler steps a delayed wakeup is deferred by *)
+  spurious_wakeup : int;
+      (** per-step 1-in-N chance to unpark a random parked thread
+          (spurious [thread_wakeup]; wait loops must tolerate it) *)
+  delay_interrupt : int;
+      (** 1-in-N chance a deliverable interrupt is deferred for a step
+          when the cpu has an alternative action *)
+  perturb_pick : int;
+      (** per-step 1-in-N chance to override the scheduling policy with a
+          uniform-random candidate pick *)
+  preempt_on_acquire : int;
+      (** 1-in-N chance of a forced preemption (thread descheduled and
+          re-enqueued) immediately before a test-and-set *)
+}
+
+val no_faults : faults
+(** All odds zero: injection disabled, schedules byte-identical to a
+    configuration without the faults record. *)
+
+val faults_active : faults -> bool
+
 type t = {
   cpus : int;               (** number of virtual processors *)
   seed : int;               (** scheduling seed *)
@@ -40,6 +71,10 @@ type t = {
   max_steps : int option;   (** hard step bound, None = unbounded *)
   trace : bool;             (** record an event trace *)
   trace_capacity : int;
+  faults : faults;          (** fault-injection odds; {!no_faults} = off *)
+  track_waits : bool;
+      (** report exact wait/hold edges into [Waits_for] so the engine's
+          deadlock detector can name cycles and orphaned waiters *)
 }
 
 val default : t

@@ -1,4 +1,6 @@
 module Spl = Mach_core.Spl
+module Waits_for = Mach_core.Waits_for
+module Run_reset = Mach_core.Run_reset
 module Obs_event = Mach_obs.Obs_event
 module Obs_trace = Mach_obs.Obs_trace
 
@@ -116,6 +118,40 @@ type mstats = {
   mutable m_spin_pauses : int;
 }
 
+(* Injection tallies, deliberately separate from [stats]: the stats
+   record and its printer are pinned byte-for-byte by the golden
+   determinism tests, and with injection disabled every count here is
+   zero anyway. *)
+type chaos_stats = {
+  dropped_wakeups : int;
+  delayed_wakeups : int;
+  spurious_wakeups : int;
+  delayed_interrupts : int;
+  perturbed_picks : int;
+  forced_preemptions : int;
+}
+
+type cstate = {
+  mutable c_dropped : int;
+  mutable c_delayed : int;
+  mutable c_spurious : int;
+  mutable c_delayed_intr : int;
+  mutable c_perturbed : int;
+  mutable c_preempted : int;
+}
+
+let pp_chaos_stats ppf c =
+  Format.fprintf ppf
+    "dropped=%d delayed=%d spurious=%d delayed-intrs=%d perturbed-picks=%d \
+     forced-preemptions=%d"
+    c.dropped_wakeups c.delayed_wakeups c.spurious_wakeups c.delayed_interrupts
+    c.perturbed_picks c.forced_preemptions
+
+(* What the waits-for detector concluded about the most recent deadlock:
+   the cycle (node labels in order, closing back on the first) and/or
+   orphaned waiters (parked threads whose wakeup can no longer arrive). *)
+type deadlock_analysis = { cycle : string list; orphans : string list }
+
 type stats = {
   steps : int;
   makespan : int;
@@ -141,6 +177,13 @@ let pp_stats ppf s =
 type engine = {
   cfg : Sim_config.t;
   rng : Sim_rng.t;
+  (* Chaos draws come from their own RNG so enabling a fault class never
+     shifts the schedule stream; [faults_on] is precomputed so the
+     disabled case costs one boolean test per hook. *)
+  crng : Sim_rng.t;
+  faults_on : bool;
+  ch : cstate;
+  mutable delayed : (int * thread) list; (* (due step, victim) in order *)
   cpus : cpu array;
   (* Run queues: one FIFO of unbound threads plus one per-cpu FIFO of
      bound threads.  [enq_seq] stamps restore the single global FIFO
@@ -208,6 +251,12 @@ let last_stats_key : stats option Domain.DLS.key =
 
 let last_trace_key : Sim_trace.event list Domain.DLS.key =
   Domain.DLS.new_key (fun () -> [])
+
+let last_chaos_key : chaos_stats option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let last_analysis_key : deadlock_analysis option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let running () = the_engine () <> None
 
@@ -285,7 +334,17 @@ let trace ev =
 (* Effects                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type _ Effect.t += Pause_eff : unit Effect.t | Park_eff : unit Effect.t
+type _ Effect.t +=
+  | Pause_eff : unit Effect.t
+  | Park_eff : unit Effect.t
+  | Preempt_eff : unit Effect.t
+        (* forced preemption (chaos): the thread is descheduled and
+           re-enqueued runnable, instead of staying on its cpu *)
+
+(* One 1-in-[n] draw from the chaos RNG; no draw at all when the class is
+   disabled, so fault classes do not perturb each other's streams any
+   more than necessary and odds 0 is free. *)
+let chaos_hit e n = n > 0 && Sim_rng.int e.crng n = 0
 
 let charge e n =
   match e.cur with Some (c, _) -> c.clock <- c.clock + n | None -> ()
@@ -443,7 +502,26 @@ module Cell = struct
             maybe_preempt e;
             old)
 
+  (* Forced preemption at a lock-acquire boundary: deschedule the thread
+     right before its test-and-set, so it re-runs the acquire from the
+     run queue later (possibly on another cpu, at spl0) — the adversarial
+     schedule for protocols that assume acquire is atomic with respect to
+     preemption.  Interrupt frames are exempt: they cannot leave the
+     cpu. *)
+  let chaos_preempt e =
+    match e.cur with
+    | Some (_, Fthread t) when chaos_hit e e.cfg.faults.preempt_on_acquire ->
+        e.ch.c_preempted <- e.ch.c_preempted + 1;
+        trace_e e
+          (Obs_event.Chaos_inject
+             { kind = "preempt-acquire"; victim = t.tname });
+        Effect.perform Preempt_eff
+    | _ -> ()
+
   let test_and_set t =
+    (match the_engine () with
+    | Some e when e.faults_on -> chaos_preempt e
+    | _ -> ());
     let old = atomic_op t ~stores:(fun _ -> true) (fun _ -> 1) in
     trace (Obs_event.Tas { cell = t.cname; old_value = old });
     old
@@ -495,24 +573,49 @@ let spawn ?name ?bound f =
   trace (Obs_event.Spawn { thread = tname });
   t
 
+(* The injection-free wakeup path, also used to deliver delayed and
+   spurious wakeups (injection must not re-inject on its own deliveries,
+   or a delayed wakeup could be dropped/re-delayed forever). *)
+let unpark_now e t =
+  match t.state with
+  | Parked ->
+      t.state <- Runnable;
+      t.ready_clock <- (match e.cur with Some (c, _) -> c.clock | None -> 0);
+      enqueue e t;
+      e.st.m_unparks <- e.st.m_unparks + 1;
+      productive e;
+      trace_e e (Obs_event.Unpark { thread = t.tname })
+  | Runnable ->
+      t.permits <- t.permits + 1;
+      productive e;
+      trace_e e (Obs_event.Permit { thread = t.tname })
+  | Dead -> ()
+
 let unpark t =
   match the_engine () with
   | None -> () (* outside simulation: nothing can be parked *)
-  | Some e -> (
-      match t.state with
-      | Parked ->
-          t.state <- Runnable;
-          t.ready_clock <-
-            (match e.cur with Some (c, _) -> c.clock | None -> 0);
-          enqueue e t;
-          e.st.m_unparks <- e.st.m_unparks + 1;
-          productive e;
-          trace (Obs_event.Unpark { thread = t.tname })
-      | Runnable ->
-          t.permits <- t.permits + 1;
-          productive e;
-          trace (Obs_event.Permit { thread = t.tname })
-      | Dead -> ())
+  | Some e ->
+      if e.faults_on && t.state = Parked && chaos_hit e e.cfg.faults.drop_wakeup
+      then begin
+        (* Dropped wakeup: the caller believes the waiter is awake; the
+           waiter stays parked with no future wakeup — section 6's lost
+           wakeup, provoked on purpose. *)
+        e.ch.c_dropped <- e.ch.c_dropped + 1;
+        trace_e e
+          (Obs_event.Chaos_inject { kind = "drop-wakeup"; victim = t.tname })
+      end
+      else if
+        e.faults_on && t.state = Parked
+        && chaos_hit e e.cfg.faults.delay_wakeup
+      then begin
+        e.ch.c_delayed <- e.ch.c_delayed + 1;
+        e.delayed <-
+          e.delayed
+          @ [ (e.st.m_steps + e.cfg.faults.wakeup_delay_steps, t) ];
+        trace_e e
+          (Obs_event.Chaos_inject { kind = "delay-wakeup"; victim = t.tname })
+      end
+      else unpark_now e t
 
 let park () =
   let e = eng_exn () in
@@ -665,6 +768,24 @@ let run_fiber e (body : unit -> unit) =
                       | _ -> fatal "internal: parking a non-top frame");
                       c.spl <- Spl.Spl0
                   | _, Fintr _ -> fatal "internal: park effect in interrupt")
+          | Preempt_eff ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  (* Like parking, but the thread stays runnable and goes
+                     straight back on the run queue. *)
+                  match cur () with
+                  | c, (Fthread t as f) ->
+                      t.cont <- Some k;
+                      t.saved_spl <- c.spl;
+                      t.on_cpu <- -1;
+                      t.ready_clock <- c.clock;
+                      (match c.frames with
+                      | top :: rest when top == f -> c.frames <- rest
+                      | _ -> fatal "internal: preempting a non-top frame");
+                      c.spl <- Spl.Spl0;
+                      enqueue e t
+                  | _, Fintr _ ->
+                      fatal "internal: preempt effect in interrupt")
           | _ -> None);
     }
 
@@ -787,6 +908,240 @@ let all_threads_report e =
              parked)));
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Waits-for deadlock analysis                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A directed blocking graph over threads, resources, interrupt frames
+   and pending interrupts:
+
+     thread -> resource          the thread waits for the resource
+     resource -> thread          a current holder of the resource
+     event -> resource           the event aliases a complex lock
+     frame below -> frame above  a thread/handler waits for interrupts
+                                 nested above it on its cpu
+     pending -> top frame        a masked pending interrupt waits for
+                                 whatever holds the cpu's spl
+     active intr -> pending peer barrier heuristic: an in-service
+                                 interrupt named N rendezvouses with
+                                 pending interrupts named N elsewhere
+     rendezvous -> pending peer  likewise for declared rendezvous waits
+                                 (tlb shootdown)
+
+   A cycle through these edges is a deadlock explanation; the section 7
+   three-processor interrupt deadlock closes through exactly one such
+   cycle (spinner -> lock -> holder -> in-service barrier -> masked
+   pending barrier -> spinner). *)
+module Dgraph = struct
+  type t = {
+    labels : (string, string) Hashtbl.t;
+    adj : (string, string list ref) Hashtbl.t;
+    mutable nodes : string list;
+  }
+
+  let make () =
+    { labels = Hashtbl.create 64; adj = Hashtbl.create 64; nodes = [] }
+
+  let node g id label =
+    if not (Hashtbl.mem g.labels id) then begin
+      Hashtbl.add g.labels id label;
+      Hashtbl.add g.adj id (ref []);
+      g.nodes <- id :: g.nodes
+    end
+
+  let edge g a b =
+    match Hashtbl.find_opt g.adj a with
+    | Some l -> if not (List.mem b !l) then l := b :: !l
+    | None -> ()
+
+  let label g id = try Hashtbl.find g.labels id with Not_found -> id
+
+  (* Depth-first cycle search, nodes visited in sorted-id order and edges
+     in insertion order, so the result is deterministic for a given
+     graph.  Returns the node ids along the first cycle found. *)
+  let find_cycle g =
+    let color = Hashtbl.create 64 in
+    (* 1 = on the current path, 2 = fully explored *)
+    let rec dfs path id =
+      match Hashtbl.find_opt color id with
+      | Some 2 -> None
+      | Some _ ->
+          let rec cut = function
+            | [] -> []
+            | x :: rest -> if x = id then [ x ] else x :: cut rest
+          in
+          Some (List.rev (cut path))
+      | None ->
+          Hashtbl.replace color id 1;
+          let succs =
+            match Hashtbl.find_opt g.adj id with
+            | Some l -> List.rev !l
+            | None -> []
+          in
+          let r =
+            List.fold_left
+              (fun acc s ->
+                match acc with Some _ -> acc | None -> dfs (id :: path) s)
+              None succs
+          in
+          if r = None then Hashtbl.replace color id 2;
+          r
+    in
+    List.fold_left
+      (fun acc id -> match acc with Some _ -> acc | None -> dfs [] id)
+      None
+      (List.sort compare g.nodes)
+end
+
+let analyze e ~sleep =
+  let g = Dgraph.make () in
+  let tnode_tid tid tname =
+    let id = "T:" ^ string_of_int tid in
+    Dgraph.node g id tname;
+    id
+  in
+  let tnode t = tnode_tid t.tid t.tname in
+  let rnode r =
+    let id = Waits_for.res_id r in
+    Dgraph.node g id (Waits_for.res_label r);
+    id
+  in
+  let wait_edges = Waits_for.waits () in
+  List.iter
+    (fun (tid, tname, r) ->
+      let tn = tnode_tid tid tname and rn = rnode r in
+      Dgraph.edge g tn rn;
+      match r with
+      | Waits_for.Event { id } -> (
+          match Waits_for.event_resource ~event:id with
+          | Some res -> Dgraph.edge g rn (rnode res)
+          | None -> ())
+      | _ -> ())
+    wait_edges;
+  List.iter
+    (fun (r, hs) ->
+      let rn = rnode r in
+      List.iter (fun (tid, tname) -> Dgraph.edge g rn (tnode_tid tid tname)) hs)
+    (Waits_for.holds ());
+  let active = ref [] and pending = ref [] in
+  Array.iter
+    (fun c ->
+      let fid pos = function
+        | Fthread t -> tnode t
+        | Fintr i ->
+            let id = Printf.sprintf "F:%d:%d" c.idx pos in
+            Dgraph.node g id
+              (Printf.sprintf "interrupt %s on cpu%d" i.iname c.idx);
+            active := (i.iname, id) :: !active;
+            id
+      in
+      let ids = List.mapi fid c.frames in
+      let rec chain = function
+        | above :: (below :: _ as rest) ->
+            Dgraph.edge g below above;
+            chain rest
+        | _ -> ()
+      in
+      chain ids;
+      let top = match ids with id :: _ -> Some id | [] -> None in
+      for r = 0 to n_spl - 1 do
+        let j = ref 0 in
+        Tq.iter
+          (fun i ->
+            let id = Printf.sprintf "P:%d:%d:%d" c.idx r !j in
+            incr j;
+            Dgraph.node g id
+              (Printf.sprintf "pending interrupt %s on cpu%d at %s" i.iname
+                 c.idx (Spl.to_string i.ilevel));
+            pending := (i.iname, id) :: !pending;
+            if r <= Spl.rank c.spl then
+              match top with Some tf -> Dgraph.edge g id tf | None -> ())
+          c.pend.(r)
+      done)
+    e.cpus;
+  let pending = List.rev !pending and active = List.rev !active in
+  List.iter
+    (fun (name, fn) ->
+      List.iter
+        (fun (pname, pid) -> if pname = name then Dgraph.edge g fn pid)
+        pending)
+    active;
+  List.iter
+    (fun (_, _, r) ->
+      match r with
+      | Waits_for.Rendezvous { name } ->
+          List.iter
+            (fun (pname, pid) -> if pname = name then Dgraph.edge g (rnode r) pid)
+            pending
+      | _ -> ())
+    wait_edges;
+  let cycle =
+    match Dgraph.find_cycle g with
+    | Some ids -> List.map (Dgraph.label g) ids
+    | None -> []
+  in
+  (* Orphaned waiters are only meaningful at a sleep deadlock: with every
+     thread parked, a recorded wait has provably no remaining waker, and
+     a parked thread whose wait edge is gone was woken in the event layer
+     but never actually delivered (the lost wakeup of section 6). *)
+  let orphans =
+    if not sleep then []
+    else
+      List.concat_map
+        (fun t ->
+          if t.state <> Parked then []
+          else
+            match Waits_for.waits_of ~tid:t.tid with
+            | [] -> (
+                match Waits_for.last_event ~tid:t.tid with
+                | Some ev when e.ch.c_dropped > 0 || e.ch.c_delayed > 0 ->
+                    [
+                      Printf.sprintf
+                        "thread %s: woken from event %d but the wakeup never \
+                         arrived (lost wakeup)"
+                        t.tname ev;
+                    ]
+                | _ when e.ch.c_dropped > 0 ->
+                    [
+                      Printf.sprintf
+                        "thread %s: parked with no recorded wait; a dropped \
+                         wakeup is the likely cause"
+                        t.tname;
+                    ]
+                | _ -> [])
+            | waits ->
+                List.map
+                  (fun (_, r) ->
+                    Printf.sprintf
+                      "thread %s: blocked on %s with no remaining waker \
+                       (orphaned waiter)"
+                      t.tname (Waits_for.res_label r))
+                  waits)
+        (List.rev e.threads)
+  in
+  { cycle; orphans }
+
+(* Run the analysis (when wait tracking is on), remember it for
+   [last_analysis], dump each line into the obs trace, and render the
+   suffix appended to the deadlock report. *)
+let analyze_deadlock e ~sleep =
+  if not e.cfg.track_waits then ""
+  else begin
+    let a = analyze e ~sleep in
+    Domain.DLS.set last_analysis_key (Some a);
+    let buf = Buffer.create 128 in
+    let note line =
+      Buffer.add_string buf ("  " ^ line ^ "\n");
+      trace_e e (Obs_event.Deadlock_note { line })
+    in
+    (match a.cycle with
+    | [] -> ()
+    | ls -> note ("waits-for cycle: " ^ String.concat " -> " (ls @ [ List.hd ls ])));
+    List.iter note a.orphans;
+    if Buffer.length buf = 0 then ""
+    else "waits-for analysis:\n" ^ Buffer.contents buf
+  end
+
 let mkstats e =
   {
     steps = e.st.m_steps;
@@ -810,7 +1165,20 @@ let collect_candidates e =
   for idx = 0 to n - 1 do
     let c = e.cpus.(idx) in
     let a =
-      if deliverable c then 1
+      if deliverable c then
+        (* Delayed interrupt delivery: defer to the cpu's alternative
+           action for this step when it has one.  Never suppress the only
+           possible action — that would turn a live machine into a false
+           sleep-deadlock report. *)
+        if
+          e.faults_on
+          && (match c.frames with _ :: _ -> true | [] -> dispatchable e c)
+          && chaos_hit e e.cfg.faults.delay_interrupt
+        then begin
+          e.ch.c_delayed_intr <- e.ch.c_delayed_intr + 1;
+          match c.frames with _ :: _ -> 2 | [] -> 3
+        end
+        else 1
       else
         match c.frames with
         | _ :: _ -> 2
@@ -827,6 +1195,13 @@ let collect_candidates e =
 (* Choose a candidate cpu index.  Each policy consumes the RNG exactly as
    the list-based picker did, so (seed, cfg) schedules are unchanged. *)
 let pick_cpu e m =
+  if e.faults_on && chaos_hit e e.cfg.faults.perturb_pick then begin
+    (* Perturbed pick: override the policy with a uniform draw from the
+       chaos RNG — adversarial scheduling noise under any policy. *)
+    e.ch.c_perturbed <- e.ch.c_perturbed + 1;
+    e.cand.(Sim_rng.int e.crng m)
+  end
+  else
   match e.cfg.policy with
   | Sim_config.Random_policy -> e.cand.(Sim_rng.int e.rng m)
   | Sim_config.Round_robin ->
@@ -863,12 +1238,45 @@ let pick_cpu e m =
       done;
       e.near.(Sim_rng.int e.rng !p)
 
+(* Deliver chaos-delayed wakeups whose due step has arrived ([force]
+   delivers everything: used when the machine would otherwise be declared
+   sleep-deadlocked while deliveries are still owed). *)
+let deliver_delayed e ~force =
+  match e.delayed with
+  | [] -> ()
+  | l ->
+      let due, future =
+        if force then (l, [])
+        else List.partition (fun (d, _) -> d <= e.st.m_steps) l
+      in
+      e.delayed <- future;
+      List.iter (fun (_, t) -> unpark_now e t) due
+
+(* Spurious wakeup: unpark a chaos-chosen parked thread.  Correct wait
+   loops re-check their predicate and re-park; protocols that treat a
+   wakeup as proof of their condition break — exactly the discipline the
+   event-wait protocol of section 6 demands. *)
+let maybe_spurious e =
+  if chaos_hit e e.cfg.faults.spurious_wakeup then begin
+    let parked = List.filter (fun t -> t.state = Parked) e.threads in
+    match parked with
+    | [] -> ()
+    | l ->
+        let t = List.nth l (Sim_rng.int e.crng (List.length l)) in
+        e.ch.c_spurious <- e.ch.c_spurious + 1;
+        trace_e e
+          (Obs_event.Chaos_inject
+             { kind = "spurious-wakeup"; victim = t.tname });
+        unpark_now e t
+  end
+
 let sched_loop e =
   let watchdog_fired () =
     let report =
       "no productive operation for "
       ^ string_of_int e.cfg.watchdog_steps
       ^ " steps; machine state:\n" ^ all_threads_report e
+      ^ analyze_deadlock e ~sleep:false
     in
     raise (Deadlock (Spin_deadlock, report))
   in
@@ -879,16 +1287,29 @@ let sched_loop e =
       | Some limit when e.st.m_steps >= limit -> raise Step_limit
       | _ -> ());
       if e.stale > e.cfg.watchdog_steps then watchdog_fired ();
+      if e.faults_on then begin
+        deliver_delayed e ~force:false;
+        maybe_spurious e
+      end;
       let m = collect_candidates e in
-      if m = 0 then begin
-        let report =
-          "all cpus idle, run queue empty, but "
-          ^ string_of_int e.live
-          ^ " thread(s) still parked; machine state:\n"
-          ^ all_threads_report e
-        in
-        raise (Deadlock (Sleep_deadlock, report))
-      end
+      if m = 0 then
+        if e.faults_on && e.delayed <> [] then begin
+          (* Not a deadlock yet: delayed wakeups are still owed.  Flush
+             them all rather than report a machine the injector itself
+             stalled. *)
+          deliver_delayed e ~force:true;
+          loop ()
+        end
+        else begin
+          let report =
+            "all cpus idle, run queue empty, but "
+            ^ string_of_int e.live
+            ^ " thread(s) still parked; machine state:\n"
+            ^ all_threads_report e
+            ^ analyze_deadlock e ~sleep:true
+          in
+          raise (Deadlock (Sleep_deadlock, report))
+        end
       else begin
         e.st.m_steps <- e.st.m_steps + 1;
         e.stale <- e.stale + 1;
@@ -924,6 +1345,21 @@ let run ?(cfg = Sim_config.default) main =
     {
       cfg;
       rng = Sim_rng.make cfg.seed;
+      crng =
+        Sim_rng.make
+          (if cfg.faults.fault_seed <> 0 then cfg.faults.fault_seed
+           else cfg.seed lxor 0x6368616f);
+      faults_on = Sim_config.faults_active cfg.faults;
+      ch =
+        {
+          c_dropped = 0;
+          c_delayed = 0;
+          c_spurious = 0;
+          c_delayed_intr = 0;
+          c_perturbed = 0;
+          c_preempted = 0;
+        };
+      delayed = [];
       cpus =
         Array.init cfg.cpus (fun idx ->
             {
@@ -971,6 +1407,12 @@ let run ?(cfg = Sim_config.default) main =
     }
   in
   Domain.DLS.set engine_key (Some e);
+  (* Start from a clean slate: per-run domain-local state (lock-order
+     held stacks, waits-for edges) from an earlier run in this domain
+     must not leak in, even if that run tore down abnormally. *)
+  Run_reset.run ();
+  Domain.DLS.set last_analysis_key None;
+  Waits_for.set_tracking cfg.track_waits;
   (* Core layers (locks, events, refcounts) emit typed events through the
      domain's [Obs_trace] sink without knowing about the engine; route
      them into this run's trace. *)
@@ -978,7 +1420,22 @@ let run ?(cfg = Sim_config.default) main =
   Obs_trace.set_enabled cfg.trace;
   let finish () =
     Domain.DLS.set last_trace_key (Sim_trace.events e.trace);
+    Domain.DLS.set last_chaos_key
+      (Some
+         {
+           dropped_wakeups = e.ch.c_dropped;
+           delayed_wakeups = e.ch.c_delayed;
+           spurious_wakeups = e.ch.c_spurious;
+           delayed_interrupts = e.ch.c_delayed_intr;
+           perturbed_picks = e.ch.c_perturbed;
+           forced_preemptions = e.ch.c_preempted;
+         });
     Obs_trace.set_enabled false;
+    Waits_for.set_tracking false;
+    (* Engine teardown hook: clears lock-order held stacks and waits-for
+       edges so nothing leaks into the next run (or the next Sim_explore
+       seed in this domain). *)
+    Run_reset.run ();
     Domain.DLS.set engine_key None
   in
   match
@@ -1013,6 +1470,8 @@ let trace_events () =
   | None -> Domain.DLS.get last_trace_key
 
 let last_stats () = Domain.DLS.get last_stats_key
+let last_chaos () = Domain.DLS.get last_chaos_key
+let last_analysis () = Domain.DLS.get last_analysis_key
 
 let live_threads () =
   match the_engine () with Some e -> e.live | None -> 0

@@ -42,6 +42,26 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+type chaos_stats = {
+  dropped_wakeups : int;
+  delayed_wakeups : int;
+  spurious_wakeups : int;
+  delayed_interrupts : int;
+  perturbed_picks : int;
+  forced_preemptions : int;
+}
+(** Counts of the fault injections actually fired during a run.  Kept out
+    of {!stats} so the golden determinism format is untouched. *)
+
+val pp_chaos_stats : Format.formatter -> chaos_stats -> unit
+
+type deadlock_analysis = {
+  cycle : string list;
+      (** labels of the waits-for cycle, in order (empty when none found) *)
+  orphans : string list;
+      (** orphaned-waiter / lost-wakeup explanations for parked threads *)
+}
+
 (** {1 Running} *)
 
 val run : ?cfg:Sim_config.t -> (unit -> unit) -> stats
@@ -136,6 +156,13 @@ val trace_events : unit -> Sim_trace.event list
 
 val last_stats : unit -> stats option
 (** Stats of the most recently completed run. *)
+
+val last_chaos : unit -> chaos_stats option
+(** Injection counts of the most recently completed run (this domain). *)
+
+val last_analysis : unit -> deadlock_analysis option
+(** The waits-for analysis of the most recent deadlock report, when the
+    run had [track_waits] on.  [None] when the run ended cleanly. *)
 
 val live_threads : unit -> int
 

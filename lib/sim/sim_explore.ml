@@ -103,11 +103,12 @@ let all_completed v = v.completed = v.seeds_run && v.panics = 0
 
 let some_deadlock v = v.sleep_deadlocks > 0 || v.spin_deadlocks > 0
 
-let find_first_deadlock ?(cpus = 4) ?(max_seeds = 200) scenario =
+let find_first_deadlock ?(cpus = 4) ?(max_seeds = 200) ?(tweak = Fun.id)
+    scenario =
   let rec search seed =
     if seed > max_seeds then None
     else
-      let cfg = Sim_config.exploration ~cpus ~seed () in
+      let cfg = tweak (Sim_config.exploration ~cpus ~seed ()) in
       match Sim_engine.run_outcome ~cfg scenario with
       | Sim_engine.Deadlocked (_, report) -> Some (seed, report)
       | _ -> search (seed + 1)

@@ -42,7 +42,9 @@ val some_deadlock : verdict -> bool
 val find_first_deadlock :
   ?cpus:int ->
   ?max_seeds:int ->
+  ?tweak:(Sim_config.t -> Sim_config.t) ->
   (unit -> unit) ->
   (int * string) option
 (** Search seeds 1,2,... until a deadlock is found; [None] if none within
-    [max_seeds] (default 200). *)
+    [max_seeds] (default 200).  [tweak] post-processes each seed's
+    configuration (e.g. to enable fault injection or wait tracking). *)

@@ -1,5 +1,6 @@
 module Engine = Mach_sim.Sim_engine
 module Spl = Mach_core.Spl
+module Waits_for = Mach_core.Waits_for
 module Obs_metrics = Mach_obs.Obs_metrics
 module Obs_trace = Mach_obs.Obs_trace
 module Obs_event = Mach_obs.Obs_event
@@ -78,9 +79,23 @@ let shootdown ~pmap_id ~targets ~invalidate ~commit =
         (fun () -> invalidate ~cpu:(Engine.current_cpu ())))
     lazies;
   Engine.spin_hint "shootdown.checked_in";
+  (* Report the rendezvous as a wait edge: if a participant cpu never
+     checks in (the section-7 interrupt deadlock), the detector can close
+     the cycle through this barrier instead of showing a silent spin. *)
+  let wf_rendezvous = Waits_for.Rendezvous { name = "tlb-shootdown" } in
+  let tracking = Waits_for.tracking () in
+  if tracking then
+    Waits_for.note_wait
+      ~tid:(Engine.thread_id (Engine.self ()))
+      ~tname:(Engine.thread_name (Engine.self ()))
+      wf_rendezvous;
   while Engine.Cell.get checked_in < n do
     Engine.pause ()
   done;
+  if tracking then
+    Waits_for.note_wait_done
+      ~tid:(Engine.thread_id (Engine.self ()))
+      wf_rendezvous;
   commit ();
   invalidate ~cpu:me;
   Engine.Cell.set go 1;

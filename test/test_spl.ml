@@ -53,6 +53,19 @@ let unit_cases =
               true
               (Spl.masks ~at:Spl.Splhigh l))
           Spl.all);
+    Alcotest.test_case "equal level is masked (same-spl rule)" `Quick
+      (fun () ->
+        (* An interrupt at exactly the cpu's current level must NOT be
+           delivered: section 7's same-spl rule relies on a lock holder at
+           splX masking the splX interrupt that could spin on the same
+           lock.  This pins the <= (not <) in the masking predicate. *)
+        List.iter
+          (fun l ->
+            Alcotest.(check bool)
+              (Spl.to_string l ^ " masked at its own level")
+              true
+              (Spl.masks ~at:l l))
+          Spl.all);
     Alcotest.test_case "to_string unique" `Quick (fun () ->
         let names = List.map Spl.to_string Spl.all in
         Alcotest.(check int)
