@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check build test bench perf perf-smoke trace-smoke chaos-smoke clean
+.PHONY: all check build test bench perf perf-smoke trace-smoke chaos-smoke mc-smoke clean
 
 all: build
 
@@ -49,6 +49,22 @@ chaos-smoke:
 	dune exec bench/main.exe -- E13
 	test -f BENCH_chaos.json
 	@echo "chaos-smoke passed"
+
+# Model-checking smoke (<60s on one core): exhaustively verify the
+# section 7 same-spl rule, find the section 7 deadlocks WITHOUT fault
+# injection (two-cpu handler-vs-holder and the three-processor barrier
+# cycle), then regenerate the E14 exploration table.  Exit codes: mc
+# returns 0 verified / 1 failure found / 2 incomplete.
+mc-smoke:
+	dune exec bin/machsim.exe -- mc same-spl --no-baseline | grep -q "VERIFIED"
+	dune exec bin/machsim.exe -- mc same-spl-buggy --no-baseline > /tmp/machsim-mc.out; \
+		test $$? -eq 1
+	grep -q "0 preemption" /tmp/machsim-mc.out
+	dune exec bin/machsim.exe -- mc interrupt-deadlock --cpus 3 --no-baseline \
+		| grep -q "waits-for cycle"
+	dune exec bench/main.exe -- E14
+	test -f BENCH_mc.json
+	@echo "mc-smoke passed"
 
 clean:
 	dune clean

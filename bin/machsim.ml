@@ -145,6 +145,19 @@ let scenarios : (string * (string * (unit -> unit))) list =
     ( "shootdown",
       ( "TLB shootdowns: pmap removals rendezvous with every other cpu",
         shootdown_scenario ) );
+    ( "same-spl",
+      ( "minimal section 7 same-spl rule: holder at interrupt spl (safe)",
+        Scenarios.same_spl_holder ~disciplined:true ) );
+    ( "same-spl-buggy",
+      ( "the same scenario holding at spl0: the handler spins on its own \
+         interrupted holder",
+        Scenarios.same_spl_holder ~disciplined:false ) );
+    ( "handoff",
+      ( "section 6 event-wait handoff: producer hands a flag to a consumer",
+        Mach_chaos.Chaos_scenarios.lost_wakeup_handoff ) );
+    ( "herd",
+      ( "section 6 broadcast wakeup: several sleepers woken at once",
+        fun () -> Mach_chaos.Chaos_scenarios.wakeup_herd ~sleepers:2 () ) );
   ]
 
 let scenario_names = List.map fst scenarios
@@ -518,10 +531,155 @@ let chaos_cmd =
           rates per fault class.")
     term
 
+(* ------------------------------------------------------------------ *)
+(* mc: systematic schedule-space model checking                         *)
+(* ------------------------------------------------------------------ *)
+
+let mc_cmd =
+  let module Mc = Mach_mc.Mc in
+  let mc_cpus_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "cpus"; "c" ] ~docv:"N"
+          ~doc:"Virtual cpus (keep small: the space is exponential).")
+  in
+  let mode_arg =
+    let parse s =
+      match Mc.mode_of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Mc.mode_name m) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Mc.Dpor
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Search mode: naive, sleep (sleep sets) or dpor.")
+  in
+  let bound_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "bound"; "b" ] ~docv:"N"
+          ~doc:
+            "Preemption bound (CHESS style).  Omit for the unbounded, \
+             exhaustive search used for verification claims.")
+  in
+  let max_execs_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-execs" ] ~docv:"N"
+          ~doc:"Stop after exploring $(docv) schedules (search incomplete).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Step bound per execution.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains"; "j" ] ~docv:"N"
+          ~doc:"Fan disjoint subtrees across $(docv) OCaml domains.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Do not search: replay the choice trace in $(docv) (as printed \
+             on failure; - reads stdin) and report the outcome.")
+  in
+  let no_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "no-baseline" ]
+          ~doc:"Skip the capped naive baseline run (no reduction ratio).")
+  in
+  let read_file = function
+    | "-" -> In_channel.input_all stdin
+    | f -> In_channel.with_open_text f In_channel.input_all
+  in
+  let run scenario cpus mode bound max_execs max_steps domains replay
+      no_baseline =
+    let scen = lookup_scenario scenario in
+    match replay with
+    | Some file -> (
+        match Mc.trace_of_string (read_file file) with
+        | Error e ->
+            Printf.eprintf "mc --replay: %s\n" e;
+            2
+        | Ok trace -> (
+            let outcome, recorded =
+              Mc.replay ~cpus ~max_steps ~trace scen
+            in
+            print_string (Mc.trace_to_string recorded);
+            match outcome with
+            | Engine.Completed stats ->
+                Format.printf "replay completed: %a@." Engine.pp_stats stats;
+                0
+            | Engine.Deadlocked (kind, report) ->
+                Format.printf "replay DEADLOCK (%s):@.%s@."
+                  (match kind with
+                  | Engine.Sleep_deadlock -> "sleep"
+                  | Engine.Spin_deadlock -> "spin/livelock")
+                  report;
+                1
+            | Engine.Panicked msg ->
+                Format.printf "replay KERNEL PANIC: %s@." msg;
+                1
+            | Engine.Hit_step_limit ->
+                Format.printf "replay hit the step bound@.";
+                1))
+    | None ->
+        let r =
+          Mc.check ~cpus ~mode ?bound ~max_steps
+            ~max_executions:max_execs ~domains scen
+        in
+        Format.printf "%a@." Mc.pp_result r;
+        (if mode <> Mc.Naive && not no_baseline then begin
+           let naive =
+             Mc.check ~cpus ~mode:Mc.Naive ?bound ~max_steps
+               ~max_executions:max_execs ~domains ~minimize:false scen
+           in
+           let n = naive.Mc.stats.Mc.executions
+           and k = r.Mc.stats.Mc.executions in
+           if n > 0 then
+             Format.printf
+               "naive baseline: %d schedules%s -> reduction ratio %.3f@."
+               n
+               (if naive.Mc.complete || naive.Mc.failure <> None then ""
+                else " (capped)")
+               (float_of_int k /. float_of_int n)
+         end);
+        if r.Mc.verified then 0 else if r.Mc.failure <> None then 1 else 2
+  in
+  let term =
+    Term.(
+      const run $ scenario_arg $ mc_cpus_arg $ mode_arg $ bound_arg
+      $ max_execs_arg $ max_steps_arg $ domains_arg $ replay_arg
+      $ no_baseline_arg)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Model-check a scenario: exhaustively explore every schedule (up \
+          to an optional preemption bound) with DPOR/sleep-set pruning, \
+          print a replayable counterexample trace on failure, or verify \
+          that none exists.")
+    term
+
 let () =
   let doc = "Drive the simulated Mach multiprocessor (locking/refcount repro)." in
   let info = Cmd.info "machsim" ~version:"1.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; explore_cmd; trace_cmd; profile_cmd; chaos_cmd; list_cmd ]))
+          [
+            run_cmd;
+            explore_cmd;
+            trace_cmd;
+            profile_cmd;
+            chaos_cmd;
+            mc_cmd;
+            list_cmd;
+          ]))

@@ -22,8 +22,6 @@ struct
   let h_wait = Obs_metrics.histogram "event.wait_cycles"
 
   let null_event = 0
-  let event_counter = Atomic.make 1
-  let fresh_event () = Atomic.fetch_and_add event_counter 1
 
   (* Per-thread wait state.  All transitions of [state] and [event] happen
      under the bucket lock of the event involved, except the owner-only
@@ -43,27 +41,75 @@ struct
 
   type bucket = { block : Slock.t; mutable waiters : waiter list }
 
-  let buckets =
-    Array.init n_buckets (fun i ->
-        {
-          block = Slock.make ~name:(Printf.sprintf "evt-bucket%d" i) ();
-          waiters = [];
-        })
+  (* All mutable event state (wait-queue buckets, the waiter registry and
+     the id counter) is machine-scoped: thread ids restart at every
+     simulation run, so a waiter record or enqueued waiter surviving one
+     run would be found — stale — by an unrelated thread of the next run,
+     and parallel simulations in other domains must not share the queues
+     at all.  The [Run_reset] hook rebuilds it between runs. *)
+  type dstate = {
+    mutable counter : int;
+    buckets : bucket array;
+    registry : (int, waiter) Hashtbl.t;
+        (* waiter records, keyed by thread id *)
+    registry_lock : Slock.t;
+  }
+
+  let mk_dstate () =
+    {
+      counter = 1;
+      buckets =
+        Array.init n_buckets (fun i ->
+            {
+              block = Slock.make ~name:(Printf.sprintf "evt-bucket%d" i) ();
+              waiters = [];
+            });
+      registry = Hashtbl.create 256;
+      registry_lock = Slock.make ~name:"evt-registry" ();
+    }
+
+  (* The slot holds an option and the dstate is built on first use
+     INSIDE the run, not by the reset hook: the hook fires during run
+     setup, where a built dstate would allocate lock cells into the
+     run's footprint id sequence — and the machine-local slot's own
+     one-time lazy init would then allocate an extra batch on the very
+     first run of a domain, shifting every later cell id of that run
+     relative to re-executions and corrupting the model checker's
+     footprint identities. *)
+  let dstate_cell = M.machine_local (fun () -> ref None)
+
+  let dstate () =
+    let c = dstate_cell () in
+    match !c with
+    | Some s -> s
+    | None ->
+        let s = mk_dstate () in
+        c := Some s;
+        s
+
+  (* Rebuild from scratch rather than clearing in place: a run torn down
+     mid-critical-section (step limit, model-checker cut) leaves a
+     bucket or registry lock held, and merely emptying the queues would
+     hand the next run a lock nobody will ever release. *)
+  let () = Run_reset.register (fun () -> dstate_cell () := None)
+
+  let fresh_event () =
+    let s = dstate () in
+    let v = s.counter in
+    s.counter <- v + 1;
+    v
 
   (* splitmix-style mix so that consecutive event ids spread over buckets *)
   let bucket_of ev =
     let h = ev * 0x9E3779B1 in
     let h = h lxor (h lsr 16) in
-    buckets.(h land (n_buckets - 1))
-
-  (* Registry of waiter records, keyed by thread id. *)
-  let registry : (int, waiter) Hashtbl.t = Hashtbl.create 256
-  let registry_lock = Slock.make ~name:"evt-registry" ()
+    (dstate ()).buckets.(h land (n_buckets - 1))
 
   let waiter_of thread =
+    let s = dstate () in
     let tid = M.thread_id thread in
-    Slock.with_lock registry_lock (fun () ->
-        match Hashtbl.find_opt registry tid with
+    Slock.with_lock s.registry_lock (fun () ->
+        match Hashtbl.find_opt s.registry tid with
         | Some w -> w
         | None ->
             let w =
@@ -75,7 +121,7 @@ struct
                 wait_started = 0;
               }
             in
-            Hashtbl.add registry tid w;
+            Hashtbl.add s.registry tid w;
             w)
 
   let my_waiter () = waiter_of (M.self ())

@@ -123,6 +123,20 @@ module type MACHINE = sig
 
   val tls_set : thread -> key:int -> int -> unit
 
+  (** {1 Machine-scoped state} *)
+
+  val machine_local : (unit -> 'a) -> unit -> 'a
+  (** [machine_local init] returns an accessor for mutable state scoped
+      to one machine instance — shared by every thread and interrupt of
+      that machine, but never by two machines.  On the native machine
+      all domains are cpus of the single process-wide machine, so the
+      state is process-global (built once, eagerly).  On the simulated
+      machine a domain hosts at most one simulation at a time while
+      other domains may run unrelated simulations concurrently, so the
+      state is domain-local (built lazily per domain).  Modules holding
+      per-run state in a [machine_local] must also register a
+      {!Run_reset} hook to rebuild it between runs. *)
+
   (** {1 Failure} *)
 
   val fatal : string -> 'a

@@ -121,3 +121,10 @@ let tls_set t ~key v =
   t.tls.(key) <- v
 
 let fatal msg = raise (Kernel_panic msg)
+
+(* Every domain is a cpu of the one process-wide machine: machine-scoped
+   state is plain process-global state, built eagerly so no two domains
+   race to initialize it. *)
+let machine_local init =
+  let v = init () in
+  fun () -> v

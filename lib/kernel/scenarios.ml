@@ -87,6 +87,64 @@ let interrupt_barrier_scenario ~disciplined () =
   Engine.join p3
 
 (* ------------------------------------------------------------------ *)
+(* The section 7 same-spl rule, minimal two-cpu version                 *)
+(* ------------------------------------------------------------------ *)
+
+let same_spl_holder ~disciplined () =
+  if Engine.cpu_count () < 2 then
+    invalid_arg "same_spl_holder: needs at least 2 cpus";
+  if not disciplined then K.Slock.set_checking false;
+  Fun.protect ~finally:(fun () -> K.Slock.set_checking true)
+  @@ fun () ->
+  let lock = K.Slock.make ~name:"vm-lock" () in
+  let held = Engine.Cell.make ~name:"held" 0 in
+  let posted = Engine.Cell.make ~name:"posted" 0 in
+  let handled = Engine.Cell.make ~name:"handled" 0 in
+  (* The holder takes the lock that the interrupt handler will also
+     want.  Disciplined: at the interrupt's spl, so the interrupt stays
+     masked for the whole critical section.  Buggy: at spl0, so the
+     handler can preempt the critical section on this very cpu and spin
+     on a lock its own interrupted thread holds -- unbreakable, because
+     the handler runs above the holder's frame. *)
+  let holder =
+    Engine.spawn ~name:"holder" ~bound:0 (fun () ->
+        let old =
+          if disciplined then Engine.set_spl Spl.Splvm else Engine.get_spl ()
+        in
+        K.Slock.lock lock;
+        Engine.Cell.set held 1;
+        Engine.spin_hint "posted";
+        while Engine.Cell.get posted = 0 do
+          Engine.pause ()
+        done;
+        Engine.cycles 50;
+        K.Slock.unlock lock;
+        if disciplined then ignore (Engine.set_spl old);
+        Engine.spin_hint "handled";
+        while Engine.Cell.get handled = 0 do
+          Engine.pause ()
+        done)
+  in
+  (* The device: once the lock is held, fire an interrupt at the
+     holder's cpu whose service routine takes the same lock. *)
+  let device =
+    Engine.spawn ~name:"device" ~bound:1 (fun () ->
+        Engine.spin_hint "held";
+        while Engine.Cell.get held = 0 do
+          Engine.pause ()
+        done;
+        Engine.post_interrupt ~name:"vm-intr" ~cpu:0 ~level:Spl.Splvm
+          (fun () ->
+            K.Slock.lock lock;
+            Engine.cycles 10;
+            K.Slock.unlock lock;
+            Engine.Cell.set handled 1);
+        Engine.Cell.set posted 1)
+  in
+  Engine.join holder;
+  Engine.join device
+
+(* ------------------------------------------------------------------ *)
 (* Locking granularity                                                  *)
 (* ------------------------------------------------------------------ *)
 

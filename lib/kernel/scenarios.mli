@@ -18,6 +18,16 @@ val interrupt_barrier_scenario : disciplined:bool -> unit -> unit
     exists to show what the rule prevents) and some schedules deadlock;
     with [disciplined:true] every schedule completes. *)
 
+val same_spl_holder : disciplined:bool -> unit -> unit
+(** The same-spl rule at its smallest: two cpus, one lock, one
+    interrupt.  A holder takes the lock while a device interrupt aimed
+    at its cpu has a service routine that takes the same lock.
+    [disciplined:true] holds at the interrupt's spl (the section 7
+    rule), so the interrupt waits and every schedule completes —
+    exhaustively checkable with [Mc].  [disciplined:false] holds at
+    spl0 (checking disabled): the handler preempts its own lock holder
+    and spins forever. *)
+
 (** {1 Locking granularity (experiments E3)} *)
 
 type granularity =

@@ -37,6 +37,49 @@ let faults_active f =
   f.drop_wakeup > 0 || f.delay_wakeup > 0 || f.spurious_wakeup > 0
   || f.delay_interrupt > 0 || f.perturb_pick > 0 || f.preempt_on_acquire > 0
 
+(* Model-checking hooks.  When [mc] is set the engine stops drawing from
+   its RNG: at every scheduler step it enumerates the enabled transitions
+   (in a deterministic order) and asks [mc_choose] which to execute, then
+   reports the executed slice's shared-state footprint to [mc_commit].
+   The driver lives in lib/mc; the types live here so lib/mc can depend
+   on lib/sim without a cycle. *)
+
+(* Transition descriptors are stable across re-executions of the same
+   choice prefix: threads are named by their per-run spawn sequence (not
+   the process-global tid) and interrupts by their FIFO slot, so a
+   descriptor recorded in one execution identifies the same transition in
+   a sibling execution. *)
+type mc_action =
+  | Mc_deliver of { slot : int; intr : string; level : string }
+      (* take pending interrupt [slot] (FIFO position within the highest
+         deliverable level) on this cpu *)
+  | Mc_resume of { frame : string }
+      (* run the cpu's top frame to its next preemption point *)
+  | Mc_dispatch of { thread : string; tseq : int }
+      (* context-switch the queued thread with per-run spawn index [tseq]
+         onto this (idle) cpu *)
+
+type mc_transition = { mc_cpu : int; mc_what : mc_action }
+
+(* One shared-state access of an executed slice.  Cells created during a
+   run carry negative per-run ids (deterministic across re-executions);
+   cells created outside any run keep stable positive global ids. *)
+type mc_access =
+  | Mc_cell of { cell : int; write : bool }
+  | Mc_thread of int (* per-run spawn index: state/permit/joiner access *)
+  | Mc_runq (* global run-queue order *)
+  | Mc_intrq of int (* a cpu's pending-interrupt queues *)
+  | Mc_spl of int (* a cpu's interrupt priority level *)
+
+type mc_hooks = {
+  mc_choose : mc_transition array -> int;
+      (* pick the next transition; the array is non-empty and in
+         deterministic (cpu-ascending) order *)
+  mc_commit : mc_access list -> unit;
+      (* footprint of the transition just executed, in program order with
+         duplicates removed *)
+}
+
 type t = {
   cpus : int;
   seed : int;
@@ -58,6 +101,8 @@ type t = {
   trace_capacity : int;
   faults : faults;
   track_waits : bool;
+  mc : mc_hooks option;
+      (* systematic-exploration hooks; None = seeded scheduling *)
 }
 
 let default =
@@ -82,6 +127,7 @@ let default =
     trace_capacity = 65536;
     faults = no_faults;
     track_waits = false;
+    mc = None;
   }
 
 let exploration ?(cpus = 4) ~seed () =

@@ -46,6 +46,49 @@ val no_faults : faults
 
 val faults_active : faults -> bool
 
+(** {1 Model-checking hooks}
+
+    When {!t.mc} is set the engine runs under a {e systematic} scheduler
+    instead of a seeded one: at every step it enumerates the enabled
+    transitions in a deterministic order and asks [mc_choose] which one to
+    execute, then reports the executed slice's shared-state footprint to
+    [mc_commit].  The DFS/DPOR driver over these hooks lives in [lib/mc];
+    the types live here so that library can depend on [lib/sim] without a
+    dependency cycle. *)
+
+type mc_action =
+  | Mc_deliver of { slot : int; intr : string; level : string }
+      (** deliver the pending interrupt at FIFO position [slot] within
+          the cpu's highest deliverable level *)
+  | Mc_resume of { frame : string }
+      (** run the cpu's top frame to its next preemption point *)
+  | Mc_dispatch of { thread : string; tseq : int }
+      (** context-switch the queued thread with per-run spawn index
+          [tseq] onto this (idle) cpu *)
+
+type mc_transition = { mc_cpu : int; mc_what : mc_action }
+(** Descriptors are stable across re-executions of the same choice
+    prefix: threads are identified by per-run spawn sequence, interrupts
+    by FIFO slot — never by process-global ids. *)
+
+type mc_access =
+  | Mc_cell of { cell : int; write : bool }
+      (** a shared cell; negative ids are per-run (deterministic),
+          positive ids belong to cells created outside any run *)
+  | Mc_thread of int  (** thread state/permits/joiners, by spawn index *)
+  | Mc_runq  (** the global run-queue order *)
+  | Mc_intrq of int  (** a cpu's pending-interrupt queues *)
+  | Mc_spl of int  (** a cpu's interrupt priority level *)
+
+type mc_hooks = {
+  mc_choose : mc_transition array -> int;
+      (** pick the index of the next transition to execute; the array is
+          non-empty, in deterministic (cpu-ascending) order *)
+  mc_commit : mc_access list -> unit;
+      (** the footprint of the transition just executed, in program
+          order, duplicates removed *)
+}
+
 type t = {
   cpus : int;               (** number of virtual processors *)
   seed : int;               (** scheduling seed *)
@@ -75,6 +118,9 @@ type t = {
   track_waits : bool;
       (** report exact wait/hold edges into [Waits_for] so the engine's
           deadlock detector can name cycles and orphaned waiters *)
+  mc : mc_hooks option;
+      (** systematic-exploration hooks; [None] = seeded scheduling.
+          Incompatible with fault injection. *)
 }
 
 val default : t

@@ -20,6 +20,13 @@
 
 type thread
 
+val schedule_version : int
+(** Bumped whenever an engine change may legitimately alter seeded
+    schedules (and therefore the determinism goldens).  [gen_golden]
+    stamps it into regenerated goldens and [test_determinism] checks the
+    stamp, so a stale golden fails with "regenerate" instead of an opaque
+    byte diff. *)
+
 type deadlock_kind = Sleep_deadlock | Spin_deadlock
 
 exception Kernel_panic of string

@@ -18,6 +18,14 @@ type verdict = {
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
+val parallel_map : domains:int -> 'a array -> ('a -> 'b) -> 'b array
+(** [parallel_map ~domains jobs f] applies [f] to every job across
+    [domains] OCaml domains (work-stealing over a shared index) and
+    returns the results in input order.  [f] must be safe to run in a
+    fresh domain — in particular each call may host its own
+    [Sim_engine.run].  This is the fan-out primitive behind [run] and the
+    model checker's subtree parallelism ([Mc.check ~domains]). *)
+
 val run :
   ?cpus:int ->
   ?policy:Sim_config.policy ->

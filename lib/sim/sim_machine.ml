@@ -30,3 +30,9 @@ let now_cycles = Sim_engine.now_cycles
 let tls_get = Sim_engine.tls_get
 let tls_set = Sim_engine.tls_set
 let fatal = Sim_engine.fatal
+
+(* One domain hosts at most one simulation at a time, and concurrent
+   explorations in other domains must not share machine state. *)
+let machine_local init =
+  let key = Domain.DLS.new_key init in
+  fun () -> Domain.DLS.get key

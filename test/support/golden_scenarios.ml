@@ -116,5 +116,12 @@ let line (name, cpus, seed, policy) =
   | Engine.Panicked msg -> head ^ "panic: " ^ msg
   | Engine.Hit_step_limit -> head ^ "step-limit"
 
+(* The expectation opens with the engine's schedule version: a golden
+   file generated before an intentional schedule change then fails with
+   a clear "stale golden" message instead of a wall of stats diffs. *)
+let version_line () =
+  Printf.sprintf "# engine schedule_version %d\n" Engine.schedule_version
+
 let render () =
-  String.concat "" (List.map (fun row -> line row ^ "\n") matrix)
+  version_line ()
+  ^ String.concat "" (List.map (fun row -> line row ^ "\n") matrix)

@@ -10,7 +10,15 @@ module Zalloc = Mach_kern.Zalloc
 module Vm_page = Mach_vm.Vm_page
 open Test_support
 
-let prop name gen f = QCheck.Test.make ~count:100 ~name gen f
+let prop name gen f = QCheck.Test.make ~count:300 ~name gen f
+
+(* Scripts are plain lists of small non-negative ints, interpreted as a
+   choice among the ops legal in the current model state ([choice mod
+   n_legal]).  This keeps the generators shrink-friendly: qcheck shrinks
+   by dropping elements and shrinking ints towards zero, and any
+   shrunken script is still a valid (shorter, more canonical)
+   operation sequence rather than a precondition violation. *)
+let script_gen len = QCheck.(list_of_size (Gen.int_range 1 len) (int_range 0 11))
 
 (* ------------------------------------------------------------------ *)
 (* Zone allocator vs a set model                                        *)
@@ -178,6 +186,145 @@ let rw_conformance script =
         script)
 
 (* ------------------------------------------------------------------ *)
+(* Complex lock option matrix (Sleep x Recursive) vs a lockstep model   *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike [rw_conformance] above (plain readers/writer), this drives the
+   full Appendix B option matrix: recursive write re-acquisition depth,
+   recursive reads, downgrade, and the persistence of the recursive
+   holder across a full release — each op mirrored into a model whose
+   observable fields must agree after every step. *)
+type cx_model = {
+  mutable x_readers : int;  (* read_count, recursive reads included *)
+  mutable x_rec_reads : int;  (* reads taken via the recursive path *)
+  mutable x_writer : bool;
+  mutable x_depth : int;  (* recursive re-acquisitions of the write side *)
+  mutable x_recursive : bool;  (* recursive holder is (still) this thread *)
+}
+
+let cx_conformance ~can_sleep ~use_recursive script =
+  in_sim (fun () ->
+      let l = K.Clock.make ~can_sleep () in
+      let m =
+        {
+          x_readers = 0;
+          x_rec_reads = 0;
+          x_writer = false;
+          x_depth = 0;
+          x_recursive = false;
+        }
+      in
+      List.for_all
+        (fun choice ->
+          let ops = ref [] in
+          let op f = ops := f :: !ops in
+          (* write acquire blocks unless the lock is entirely free *)
+          if (not m.x_writer) && m.x_readers = 0 then
+            op (fun () ->
+                K.Clock.lock_write l;
+                m.x_writer <- true);
+          (* recursive re-acquisition and recursive reads *)
+          if use_recursive && m.x_writer && not m.x_recursive then
+            op (fun () ->
+                K.Clock.lock_set_recursive l;
+                m.x_recursive <- true);
+          if m.x_recursive && m.x_writer then begin
+            op (fun () ->
+                K.Clock.lock_write l;
+                m.x_depth <- m.x_depth + 1);
+            op (fun () ->
+                K.Clock.lock_read l;
+                m.x_readers <- m.x_readers + 1;
+                m.x_rec_reads <- m.x_rec_reads + 1)
+          end;
+          if m.x_recursive && m.x_depth = 0 then
+            op (fun () ->
+                K.Clock.lock_clear_recursive l;
+                m.x_recursive <- false);
+          (* plain read acquire: the recursive holder takes the recursive
+             path even when it no longer holds the write side *)
+          if not m.x_writer then
+            op (fun () ->
+                K.Clock.lock_read l;
+                m.x_readers <- m.x_readers + 1;
+                if m.x_recursive then m.x_rec_reads <- m.x_rec_reads + 1);
+          (* release: mirrors lock_done's branch order (reads drain
+             first, then recursion depth, then the write slot) *)
+          if m.x_readers > 0 || m.x_writer then
+            op (fun () ->
+                K.Clock.lock_done l;
+                if m.x_readers > 0 then begin
+                  m.x_readers <- m.x_readers - 1;
+                  if m.x_recursive && m.x_rec_reads > 0 then
+                    m.x_rec_reads <- m.x_rec_reads - 1
+                end
+                else if m.x_depth > 0 then m.x_depth <- m.x_depth - 1
+                else m.x_writer <- false);
+          (* downgrade (fatal with outstanding recursive writes) *)
+          if m.x_writer && m.x_depth = 0 then
+            op (fun () ->
+                K.Clock.lock_write_to_read l;
+                m.x_writer <- false;
+                m.x_readers <- m.x_readers + 1);
+          (* upgrade: single reader, never from the recursive path *)
+          if m.x_readers = 1 && (not m.x_writer) && not m.x_recursive then
+            op (fun () ->
+                let failed = K.Clock.lock_read_to_write l in
+                m.x_readers <- 0;
+                m.x_writer <- true;
+                if failed then Engine.fatal "single-reader upgrade failed");
+          let ops = List.rev !ops in
+          (match ops with
+          | [] -> ()
+          | _ -> (List.nth ops (choice mod List.length ops)) ());
+          K.Clock.read_count l = m.x_readers
+          && K.Clock.held_for_write l = m.x_writer
+          && K.Clock.can_sleep l = can_sleep)
+        script)
+
+(* ------------------------------------------------------------------ *)
+(* Gated (deactivate-style) reference count vs a lockstep model         *)
+(* ------------------------------------------------------------------ *)
+
+let gated_conformance script =
+  in_sim (fun () ->
+      let obj = K.Slock.make ~name:"gated-obj" () in
+      let g = K.Ref.Gated.make ~name:"gated" ~object_lock:obj () in
+      let m_open = ref true and m_n = ref 0 in
+      List.for_all
+        (fun choice ->
+          K.Slock.lock obj;
+          let ops = ref [] in
+          let op f = ops := f :: !ops in
+          op (fun () ->
+              (* enter succeeds iff the gate is open *)
+              let entered = K.Ref.Gated.enter g in
+              if entered <> !m_open then
+                Engine.fatal "enter result disagrees with model";
+              if entered then incr m_n);
+          if !m_n > 0 then
+            op (fun () ->
+                K.Ref.Gated.exit g;
+                decr m_n);
+          (* single-threaded: draining and waiting are only legal when
+             nothing is in progress (they would block forever) *)
+          if !m_n = 0 then begin
+            op (fun () ->
+                K.Ref.Gated.close_and_drain g;
+                m_open := false);
+            op (fun () -> K.Ref.Gated.wait_until_zero g)
+          end;
+          if not !m_open then
+            op (fun () ->
+                K.Ref.Gated.reopen g;
+                m_open := true);
+          (List.nth !ops (choice mod List.length !ops)) ();
+          let ok = K.Ref.Gated.in_progress g = !m_n in
+          K.Slock.unlock obj;
+          ok)
+        script)
+
+(* ------------------------------------------------------------------ *)
 (* Event ids                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -202,6 +349,16 @@ let qcheck_cases =
       prop "complex lock conforms to rw model"
         QCheck.(list_of_size (Gen.int_range 1 80) (int_range 0 5))
         rw_conformance;
+      prop "complex lock matrix: spin, plain" (script_gen 80)
+        (cx_conformance ~can_sleep:false ~use_recursive:false);
+      prop "complex lock matrix: spin, recursive" (script_gen 80)
+        (cx_conformance ~can_sleep:false ~use_recursive:true);
+      prop "complex lock matrix: sleep, plain" (script_gen 80)
+        (cx_conformance ~can_sleep:true ~use_recursive:false);
+      prop "complex lock matrix: sleep, recursive" (script_gen 80)
+        (cx_conformance ~can_sleep:true ~use_recursive:true);
+      prop "gated count conforms to gate model" (script_gen 60)
+        gated_conformance;
       prop "fresh events unique" QCheck.(int_range 1 100) fresh_events_unique;
       prop "wakeup with no waiters wakes none" QCheck.int
         wakeup_no_waiters_is_zero;
