@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check build test bench perf perf-smoke trace-smoke chaos-smoke mc-smoke clean
+.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke chaos-smoke mc-smoke clean
 
 all: build
 
@@ -27,6 +27,27 @@ perf:
 perf-smoke:
 	dune exec bench/perf.exe -- --fast
 
+# Perf-regression gate: re-measure engine throughput (engine-only, fast)
+# and fail if engine.vs_baseline drops below 0.9x the committed
+# reference (bench/perf_reference.json).
+perf-gate:
+	dune exec bench/perf.exe -- --fast --engine-only
+	dune exec bench/perf_gate.exe
+
+# Prove the gate trips: inject a 2x slowdown into the measured value and
+# require exit code 1 (a gate that cannot fail gates nothing).
+perf-gate-selftest:
+	dune exec bench/perf_gate.exe -- --inject-slowdown; test $$? -eq 1
+	@echo "perf-gate-selftest passed (gate trips on injected 2x slowdown)"
+
+# Regenerate the committed gate reference after an INTENTIONAL perf
+# change: run the full engine measurement, then edit
+# bench/perf_reference.json's engine.vs_baseline to the new value
+# (rounded down to absorb runner jitter).
+perf-reference:
+	dune exec bench/perf.exe -- --engine-only
+	@echo "update bench/perf_reference.json from BENCH_sim_perf.json's engine.vs_baseline"
+
 # Run the shootdown scenario with tracing, export Chrome trace-event
 # JSON, and verify it parses and contains the shootdown events (machsim
 # re-reads and validates its own output; the greps double-check from the
@@ -46,6 +67,7 @@ chaos-smoke:
 	dune exec bin/machsim.exe -- chaos --seeds 10 | tee /tmp/machsim-chaos.out
 	grep -q "waits-for cycle" /tmp/machsim-chaos.out
 	grep -q "never arrived" /tmp/machsim-chaos.out
+	grep -q "lost handoff" /tmp/machsim-chaos.out
 	dune exec bench/main.exe -- E13
 	test -f BENCH_chaos.json
 	@echo "chaos-smoke passed"

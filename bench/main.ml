@@ -1113,6 +1113,245 @@ module E14 = struct
 end
 
 (* ================================================================== *)
+(* E15: queue locks at scale: ttas -> ticket/MCS crossover              *)
+(* ================================================================== *)
+
+module E15 = struct
+  module Lock_proto = Mach_core.Lock_proto
+
+  (* E1's contention workload pushed to 64 cpus and extended with the
+     lib/locks queue protocols.  Fewer iterations than E1 so the 64-cpu
+     rows stay in smoke-test range; the contention level per acquire is
+     what matters, not the total operation count. *)
+  let sweep = [ 2; 8; 16; 32; 64 ]
+  let iters = 12
+
+  let mutex_workload mk cpus =
+    sim_run ~cpus (fun () ->
+        let lock = mk () in
+        let data = Array.init 4 (fun _ -> Engine.Cell.make 0) in
+        let worker () =
+          for _ = 1 to iters do
+            K.Slock.lock lock;
+            Array.iter (fun d -> ignore (Engine.Cell.fetch_and_add d 1)) data;
+            Engine.cycles 20;
+            K.Slock.unlock lock
+          done
+        in
+        let ts = List.init cpus (fun _ -> Engine.spawn worker) in
+        List.iter Engine.join ts)
+
+  let protos =
+    List.map
+      (fun p ->
+        ( Spin.protocol_name p,
+          fun () -> K.Slock.make ~name:"l" ~protocol:p () ))
+      Spin.all_protocols
+    @ List.map
+        (fun f ->
+          (Lock_proto.name f, fun () -> K.Slock.make ~name:"l" ~proto:f ()))
+        K.Locks.all
+
+  (* Read-mostly workload (~5% writes): big-reader lock vs the complex
+     readers/writer lock vs a plain ttas mutex. *)
+  let rw_ops = 20
+
+  let read_mostly impl cpus =
+    sim_run ~cpus (fun () ->
+        let d = Engine.Cell.make 0 in
+        let read () =
+          ignore (Engine.Cell.get d);
+          Engine.cycles 10
+        in
+        let write () = ignore (Engine.Cell.fetch_and_add d 1) in
+        let run_ops do_read do_write w () =
+          for op = 1 to rw_ops do
+            if (op + w) mod rw_ops = 0 then do_write () else do_read ()
+          done
+        in
+        let worker =
+          match impl with
+          | `Brlock ->
+              let l = K.Locks.Brlock.make ~name:"br" in
+              run_ops
+                (fun () -> K.Locks.Brlock.with_read l read)
+                (fun () -> K.Locks.Brlock.with_write l write)
+          | `Clock ->
+              let l = K.Clock.make ~name:"rw" ~can_sleep:false () in
+              run_ops
+                (fun () ->
+                  K.Clock.lock_read l;
+                  read ();
+                  K.Clock.lock_done l)
+                (fun () ->
+                  K.Clock.lock_write l;
+                  write ();
+                  K.Clock.lock_done l)
+          | `Ttas ->
+              let l = K.Slock.make ~name:"m" ~protocol:Spin.Ttas () in
+              run_ops
+                (fun () ->
+                  K.Slock.lock l;
+                  read ();
+                  K.Slock.unlock l)
+                (fun () ->
+                  K.Slock.lock l;
+                  write ();
+                  K.Slock.unlock l)
+        in
+        let ts = List.init cpus (fun w -> Engine.spawn (worker w)) in
+        List.iter Engine.join ts)
+
+  let run () =
+    section ~id:"E15" ~title:"queue locks at scale: the ttas crossover"
+      ~claim:
+        "spinning on a remote flag costs bus bandwidth proportional to \
+         waiters; queue locks (ticket with proportional backoff, MCS, \
+         Anderson) spin locally and hand off explicitly, so past a \
+         crossover cpu count they beat ttas on both bus traffic and \
+         makespan; a big-reader lock makes read-mostly data near-free to \
+         read (s.2)";
+    let tbl = Hashtbl.create 64 in
+    let mutex_rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun (name, mk) ->
+              let s = mutex_workload mk cpus in
+              Hashtbl.replace tbl (name, cpus) s;
+              [
+                i cpus;
+                name;
+                i s.Engine.makespan;
+                i s.Engine.bus_transactions;
+                i s.Engine.atomic_ops;
+                i s.Engine.cache_misses;
+              ])
+            protos)
+        sweep
+    in
+    table
+      ~header:
+        [ "cpus"; "protocol"; "makespan"; "bus-txns"; "atomics"; "misses" ]
+      mutex_rows;
+    (* Crossover: smallest cpu count at which a queue protocol beats ttas
+       on makespan AND bus traffic, and stays ahead for the rest of the
+       sweep. *)
+    let beats name cpus =
+      let s = Hashtbl.find tbl (name, cpus) in
+      let t = Hashtbl.find tbl ("ttas", cpus) in
+      s.Engine.makespan < t.Engine.makespan
+      && s.Engine.bus_transactions < t.Engine.bus_transactions
+    in
+    let crossover name =
+      let rec scan = function
+        | [] -> None
+        | c :: rest ->
+            if beats name c && List.for_all (beats name) rest then Some c
+            else scan rest
+      in
+      scan sweep
+    in
+    let queue_names = List.map Lock_proto.name K.Locks.all in
+    printf "\ncrossover vs ttas (beats on makespan AND bus-txns from here up):\n";
+    table
+      ~header:[ "protocol"; "crossover-cpus" ]
+      (List.map
+         (fun n ->
+           [ n; (match crossover n with None -> "-" | Some c -> i c) ])
+         queue_names);
+    printf "\nread-mostly (%d%% writes):\n" (100 / rw_ops);
+    let rw_rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun (name, impl) ->
+              let s = read_mostly impl cpus in
+              Hashtbl.replace tbl ("rw:" ^ name, cpus) s;
+              [
+                i cpus;
+                name;
+                i s.Engine.makespan;
+                i s.Engine.bus_transactions;
+                i s.Engine.atomic_ops;
+              ])
+            [
+              ("brlock", `Brlock);
+              ("complex-rw", `Clock);
+              ("ttas-mutex", `Ttas);
+            ])
+        sweep
+    in
+    table
+      ~header:[ "cpus"; "impl"; "makespan"; "bus-txns"; "atomics" ]
+      rw_rows;
+    (* JSON export mirroring the printed tables, for the CI artifact. *)
+    let stats_fields (s : Engine.stats) =
+      [
+        ("makespan", Obs_json.Int s.Engine.makespan);
+        ("bus_txns", Obs_json.Int s.Engine.bus_transactions);
+        ("atomics", Obs_json.Int s.Engine.atomic_ops);
+        ("misses", Obs_json.Int s.Engine.cache_misses);
+      ]
+    in
+    let mutex_json =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun (name, _) ->
+              Obs_json.Obj
+                (( "protocol", Obs_json.String name )
+                 :: ("cpus", Obs_json.Int cpus)
+                 :: stats_fields (Hashtbl.find tbl (name, cpus))))
+            protos)
+        sweep
+    in
+    let rw_json =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun name ->
+              Obs_json.Obj
+                (( "impl", Obs_json.String name )
+                 :: ("cpus", Obs_json.Int cpus)
+                 :: stats_fields (Hashtbl.find tbl ("rw:" ^ name, cpus))))
+            [ "brlock"; "complex-rw"; "ttas-mutex" ])
+        sweep
+    in
+    let crossover_json =
+      List.map
+        (fun n ->
+          Obs_json.Obj
+            [
+              ("protocol", Obs_json.String n);
+              ("vs", Obs_json.String "ttas");
+              ( "crossover_cpus",
+                match crossover n with
+                | None -> Obs_json.Null
+                | Some c -> Obs_json.Int c );
+            ])
+        queue_names
+    in
+    let out = "BENCH_locks.json" in
+    let oc = open_out out in
+    output_string oc
+      (Obs_json.to_string
+         (Obs_json.Obj
+            [
+              ( "E15",
+                Obs_json.Obj
+                  [
+                    ("mutex", Obs_json.List mutex_json);
+                    ("read_mostly", Obs_json.List rw_json);
+                    ("crossover", Obs_json.List crossover_json);
+                  ] );
+            ]));
+    output_char oc '\n';
+    close_out oc;
+    printf "\nlock-suite tables written to %s\n" out
+end
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -1131,6 +1370,7 @@ let experiments =
     ("E12", E12.run);
     ("E13", E13.run);
     ("E14", E14.run);
+    ("E15", E15.run);
     ("X1", X1.run);
   ]
 

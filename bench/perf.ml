@@ -78,42 +78,70 @@ let engine_throughput ~repeats ~iters =
         ("vs_baseline", Obs_json.Float (sps /. baseline_steps_per_sec));
       ] )
 
-let sweep ~seeds ~domains =
+let sweep ~seeds ~domains:requested =
   let seed_list = List.init seeds (fun s -> s + 1) in
   let scenario = e1_scenario ~iters:12 in
   let tweak cfg = { cfg with Config.policy = Config.Timed } in
   let run domains () =
     Explore.run ~cpus:4 ~seeds:seed_list ~domains ~tweak scenario
   in
-  let seq, seq_s = wall (run 1) in
-  let par, par_s = wall (run domains) in
-  if seq <> par then begin
-    Printf.eprintf "FATAL: parallel sweep verdict differs from sequential\n";
-    exit 1
-  end;
-  let speedup = seq_s /. par_s in
+  (* A "speedup" measured with more domains than cores is dominated by
+     domain spawn cost and scheduler thrash, not by the engine (a 1-core
+     CI runner used to report speedup=0.17x here).  Clamp the fan-out to
+     the core count and skip the parallel leg outright on 1-core hosts,
+     recording why in the json. *)
   let cores = Domain.recommended_domain_count () in
-  Printf.printf
-    "sweep: %d seeds  seq=%.3fs  %d-domain=%.3fs  speedup=%.2fx  (%d/%d \
-     completed, verdicts equal, %d core(s) available)\n%!"
-    seeds seq_s domains par_s speedup seq.Explore.completed
-    seq.Explore.seeds_run cores;
-  if cores < domains then
-    Printf.printf
-      "sweep: note: only %d core(s) on this host; the %d-domain speedup is \
-       bounded by the core count\n%!"
-      cores domains;
-  Obs_json.Obj
+  let domains = min requested cores in
+  let seq, seq_s = wall (run 1) in
+  let common =
     [
       ("seeds", Obs_json.Int seeds);
+      ("requested_domains", Obs_json.Int requested);
       ("domains", Obs_json.Int domains);
       ("cores", Obs_json.Int cores);
+      ("core_bound", Obs_json.Bool (cores < requested));
       ("seq_wall_s", Obs_json.Float seq_s);
-      ("par_wall_s", Obs_json.Float par_s);
-      ("speedup", Obs_json.Float speedup);
-      ("verdicts_equal", Obs_json.Bool true);
       ("completed", Obs_json.Int seq.Explore.completed);
     ]
+  in
+  if domains < 2 then begin
+    Printf.printf
+      "sweep: %d seeds  seq=%.3fs  (%d/%d completed); parallel leg SKIPPED: \
+       host has %d core(s), a multi-domain speedup would be meaningless\n%!"
+      seeds seq_s seq.Explore.completed seq.Explore.seeds_run cores;
+    Obs_json.Obj
+      (common
+      @ [
+          ("speedup", Obs_json.Null);
+          ( "speedup_skipped",
+            Obs_json.String "host has a single core; no parallel leg run" );
+        ])
+  end
+  else begin
+    let par, par_s = wall (run domains) in
+    if seq <> par then begin
+      Printf.eprintf "FATAL: parallel sweep verdict differs from sequential\n";
+      exit 1
+    end;
+    let speedup = seq_s /. par_s in
+    Printf.printf
+      "sweep: %d seeds  seq=%.3fs  %d-domain=%.3fs  speedup=%.2fx  (%d/%d \
+       completed, verdicts equal, %d core(s) available)\n%!"
+      seeds seq_s domains par_s speedup seq.Explore.completed
+      seq.Explore.seeds_run cores;
+    if cores < requested then
+      Printf.printf
+        "sweep: note: %d domains requested but only %d core(s); fan-out \
+         clamped to the core count\n%!"
+        requested cores;
+    Obs_json.Obj
+      (common
+      @ [
+          ("par_wall_s", Obs_json.Float par_s);
+          ("speedup", Obs_json.Float speedup);
+          ("verdicts_equal", Obs_json.Bool true);
+        ])
+  end
 
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in

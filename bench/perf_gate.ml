@@ -1,0 +1,80 @@
+(* The CI perf-regression gate.
+
+   Reads the engine throughput that `bench/perf.exe` just wrote to
+   BENCH_sim_perf.json and compares its `engine.vs_baseline` against the
+   committed reference (bench/perf_reference.json).  Exits 1 when the
+   measured value falls below --min-ratio (default 0.9) of the
+   reference, so a >10% engine slowdown fails the pipeline instead of
+   silently shipping.
+
+   --inject-slowdown halves the measured value before the comparison;
+   CI runs it once per pipeline to prove the gate actually trips
+   (a gate that cannot fail gates nothing). *)
+
+module Obs_json = Mach_obs.Obs_json
+
+let die fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("perf-gate: " ^ s);
+      exit 2)
+    fmt
+
+let json_of_file path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> die "%s" msg
+  in
+  match Obs_json.of_string text with
+  | Ok v -> v
+  | Error e -> die "%s: parse error: %s" path e
+
+let number = function
+  | Some (Obs_json.Float f) -> Some f
+  | Some (Obs_json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let vs_baseline path =
+  let doc = json_of_file path in
+  match Obs_json.member "engine" doc with
+  | None -> die "%s: no \"engine\" object" path
+  | Some engine -> (
+      match number (Obs_json.member "vs_baseline" engine) with
+      | Some f when f > 0. -> f
+      | Some _ -> die "%s: engine.vs_baseline must be positive" path
+      | None -> die "%s: engine.vs_baseline missing" path)
+
+let () =
+  let perf = ref "BENCH_sim_perf.json" in
+  let reference = ref "bench/perf_reference.json" in
+  let min_ratio = ref 0.9 in
+  let inject = ref false in
+  let spec =
+    [
+      ("--perf", Arg.Set_string perf, "FILE measured perf json (default BENCH_sim_perf.json)");
+      ("--reference", Arg.Set_string reference, "FILE committed reference json");
+      ("--min-ratio", Arg.Set_float min_ratio, "R fail below R x reference (default 0.9)");
+      ("--inject-slowdown", Arg.Set inject, " halve the measured value (gate selftest)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> die "unexpected argument %S" a)
+    "perf_gate [--perf FILE] [--reference FILE] [--min-ratio R] [--inject-slowdown]";
+  let measured = vs_baseline !perf in
+  let measured = if !inject then measured /. 2. else measured in
+  let reference_v = vs_baseline !reference in
+  let ratio = measured /. reference_v in
+  Printf.printf
+    "perf-gate: measured engine.vs_baseline=%.3f  reference=%.3f  \
+     ratio=%.3f  (min %.2f)%s\n"
+    measured reference_v ratio !min_ratio
+    (if !inject then "  [injected 2x slowdown]" else "");
+  if ratio < !min_ratio then begin
+    Printf.printf
+      "perf-gate: FAIL: engine throughput is below %.0f%% of the committed \
+       reference (bench/perf_reference.json); if the slowdown is intentional, \
+       regenerate the reference with `make perf-reference`\n"
+      (100. *. !min_ratio);
+    exit 1
+  end
+  else Printf.printf "perf-gate: OK\n"

@@ -16,6 +16,7 @@ module Obs_metrics = Mach_obs.Obs_metrics
 module Obs_profile = Mach_obs.Obs_profile
 module Scenarios = Mach_kernel.Scenarios
 module Kernel = Mach_kernel.Kernel
+module Ksync = Mach_ksync.Ksync
 module Vm = Mach_vm
 open Cmdliner
 
@@ -158,6 +159,46 @@ let scenarios : (string * (string * (unit -> unit))) list =
     ( "herd",
       ( "section 6 broadcast wakeup: several sleepers woken at once",
         fun () -> Mach_chaos.Chaos_scenarios.wakeup_herd ~sleepers:2 () ) );
+    ( "mcs-handoff",
+      ( "workers contending an MCS queue lock (explicit successor handoff)",
+        fun () -> Mach_chaos.Chaos_scenarios.mcs_handoff () ) );
+    ( "queue-locks",
+      ( "one contended critical section per queue-lock protocol \
+         (ticket, MCS, Anderson) plus a big-reader read burst",
+        fun () ->
+          let module Lp = Mach_core.Lock_proto in
+          List.iter
+            (fun proto ->
+              let l =
+                Ksync.Slock.make ~name:("ql." ^ Lp.name proto) ~proto ()
+              in
+              let c = Engine.Cell.make ~name:"ql.count" 0 in
+              let ts =
+                List.init
+                  (Engine.cpu_count ())
+                  (fun _ ->
+                    Engine.spawn (fun () ->
+                        for _ = 1 to 5 do
+                          Ksync.Slock.lock l;
+                          ignore (Engine.Cell.fetch_and_add c 1);
+                          Engine.cycles 20;
+                          Ksync.Slock.unlock l
+                        done))
+              in
+              List.iter Engine.join ts)
+            Ksync.Locks.all;
+          let br = Ksync.Locks.Brlock.make ~name:"ql.br" in
+          let ts =
+            List.init
+              (Engine.cpu_count ())
+              (fun _ ->
+                Engine.spawn (fun () ->
+                    for _ = 1 to 5 do
+                      Ksync.Locks.Brlock.with_read br (fun () ->
+                          Engine.cycles 10)
+                    done))
+          in
+          List.iter Engine.join ts ) );
   ]
 
 let scenario_names = List.map fst scenarios
@@ -487,6 +528,29 @@ let chaos_cmd =
     | None, None ->
         ok := false;
         Format.printf "no lost wakeup within %d seeds@." seeds);
+    (* 2b. The queue-lock analogue of the lost wakeup: MCS release hands
+       off by storing to the successor's spin cell; dropping that store
+       strands the waiter, and the detector must call it a lost
+       handoff. *)
+    Format.printf "@.== MCS lost handoff (drop-handoff injection) ==@.";
+    let droph = Fault.mix ~intensity [ Fault.Drop_handoff ] in
+    (match
+       Chaos.find_first_failure ~cpus ~max_seeds:seeds ~faults:droph
+         (fun () -> Cs.mcs_handoff ())
+     with
+    | Some r when contains r.Chaos.report "lost handoff" ->
+        Format.printf "seed %d: %s@.%s@." r.Chaos.seed
+          (Chaos.detection_name r.Chaos.detection)
+          r.Chaos.report
+    | Some r ->
+        ok := false;
+        Format.printf "seed %d: %s (no lost handoff diagnosed)@.%s@."
+          r.Chaos.seed
+          (Chaos.detection_name r.Chaos.detection)
+          r.Chaos.report
+    | None ->
+        ok := false;
+        Format.printf "no lost handoff within %d seeds@." seeds);
     (* 3. Fault-mix minimization: start from every class at once and
        shrink while the first failing seed keeps failing. *)
     Format.printf "@.== first-failure minimization ==@.";
@@ -526,9 +590,9 @@ let chaos_cmd =
     (Cmd.info "chaos"
        ~doc:
          "Fault-injection sweep with the waits-for deadlock detector: \
-          reproduce the section 7 interrupt deadlock and the section 6 \
-          lost wakeup, minimize a failing fault mix, and tally detection \
-          rates per fault class.")
+          reproduce the section 7 interrupt deadlock, the section 6 \
+          lost wakeup and the queue-lock lost handoff, minimize a \
+          failing fault mix, and tally detection rates per fault class.")
     term
 
 (* ------------------------------------------------------------------ *)

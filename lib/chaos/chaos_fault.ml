@@ -7,6 +7,7 @@ type cls =
   | Delay_interrupt
   | Perturb_pick
   | Preempt_acquire
+  | Drop_handoff
 
 let all =
   [
@@ -16,6 +17,7 @@ let all =
     Delay_interrupt;
     Perturb_pick;
     Preempt_acquire;
+    Drop_handoff;
   ]
 
 let name = function
@@ -25,6 +27,7 @@ let name = function
   | Delay_interrupt -> "delay-interrupt"
   | Perturb_pick -> "perturb-pick"
   | Preempt_acquire -> "preempt-acquire"
+  | Drop_handoff -> "drop-handoff"
 
 let of_name s =
   List.find_opt (fun c -> name c = s) all
@@ -39,6 +42,7 @@ let apply ~intensity cls (f : Sim_config.faults) =
   | Delay_interrupt -> { f with Sim_config.delay_interrupt = intensity }
   | Perturb_pick -> { f with Sim_config.perturb_pick = intensity }
   | Preempt_acquire -> { f with Sim_config.preempt_on_acquire = intensity }
+  | Drop_handoff -> { f with Sim_config.drop_handoff = intensity }
 
 let mix ?(intensity = 2) ?(fault_seed = 0) classes =
   List.fold_left
@@ -55,7 +59,8 @@ let mix_classes (f : Sim_config.faults) =
       | Spurious_wakeup -> f.Sim_config.spurious_wakeup > 0
       | Delay_interrupt -> f.Sim_config.delay_interrupt > 0
       | Perturb_pick -> f.Sim_config.perturb_pick > 0
-      | Preempt_acquire -> f.Sim_config.preempt_on_acquire > 0)
+      | Preempt_acquire -> f.Sim_config.preempt_on_acquire > 0
+      | Drop_handoff -> f.Sim_config.drop_handoff > 0)
     all
 
 let remove cls (f : Sim_config.faults) =
@@ -66,3 +71,4 @@ let remove cls (f : Sim_config.faults) =
   | Delay_interrupt -> { f with Sim_config.delay_interrupt = 0 }
   | Perturb_pick -> { f with Sim_config.perturb_pick = 0 }
   | Preempt_acquire -> { f with Sim_config.preempt_on_acquire = 0 }
+  | Drop_handoff -> { f with Sim_config.drop_handoff = 0 }

@@ -9,6 +9,7 @@ type cls =
   | Delay_interrupt   (** deliverable interrupt deferred when possible *)
   | Perturb_pick      (** scheduling policy overridden by a uniform pick *)
   | Preempt_acquire   (** forced preemption at a test-and-set boundary *)
+  | Drop_handoff      (** queue-lock successor handoff silently dropped *)
 
 val all : cls list
 val name : cls -> string

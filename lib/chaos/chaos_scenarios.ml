@@ -64,9 +64,30 @@ let wakeup_herd ?(sleepers = 4) () =
 let interrupt_deadlock () =
   Mach_kernel.Scenarios.interrupt_barrier_scenario ~disciplined:false ()
 
+(* Workers contending an MCS queue lock: release is an explicit store to
+   the successor's spin cell, so the [Drop_handoff] class can strand a
+   waiter in a local spin on a lock nobody holds — the queue-lock
+   analogue of the lost wakeup, reported as a "lost handoff" by the
+   waits-for analyzer's spin-deadlock orphan pass. *)
+let mcs_handoff ?(workers = 3) () =
+  let l = K.Slock.make ~name:"mcs" ~proto:K.Locks.mcs () in
+  let c = Engine.Cell.make ~name:"mcs.count" 0 in
+  let ts =
+    List.init workers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "worker%d" i) (fun () ->
+            for _ = 1 to 3 do
+              K.Slock.lock l;
+              ignore (Engine.Cell.fetch_and_add c 1);
+              Engine.cycles 30;
+              K.Slock.unlock l
+            done))
+  in
+  List.iter Engine.join ts
+
 let all =
   [
     ("interrupt-deadlock", interrupt_deadlock);
     ("lost-wakeup-handoff", lost_wakeup_handoff);
     ("wakeup-herd", fun () -> wakeup_herd ());
+    ("mcs-handoff", fun () -> mcs_handoff ());
   ]

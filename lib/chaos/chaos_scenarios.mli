@@ -13,5 +13,9 @@ val interrupt_deadlock : unit -> unit
 (** {!Mach_kernel.Scenarios.interrupt_barrier_scenario} with the same-spl
     discipline off. *)
 
+val mcs_handoff : ?workers:int -> unit -> unit
+(** Workers contending an MCS queue lock; hangs only when the
+    [Drop_handoff] fault class strands a waiter (lost handoff). *)
+
 val all : (string * (unit -> unit)) list
 (** Name-keyed registry for the CLI and the benchmarks. *)

@@ -37,7 +37,7 @@ struct
 
   let next_id = Atomic.make 0
 
-  let make ?name ~can_sleep () =
+  let make ?name ?proto ~can_sleep () =
     let id = Atomic.fetch_and_add next_id 1 in
     let lname =
       match name with Some n -> n | None -> Printf.sprintf "lock%d" id
@@ -50,7 +50,7 @@ struct
       (Waits_for.Clock { uid = id; name = lname });
     {
       cl_id = id;
-      interlock = Slock.make ~name:(lname ^ ".interlock") ();
+      interlock = Slock.make ~name:(lname ^ ".interlock") ?proto ();
       event;
       lname;
       stats = Lock_stats.make ();

@@ -1,0 +1,58 @@
+(** The common signature of scalable spin-lock protocols.
+
+    The tas/ttas family in {!Spin} operates on a single shared cell; the
+    queue locks of lib/locks (ticket, MCS, Anderson) carry per-lock state
+    of their own (tickets, qnode pools, slot arrays).  [LOCK_PROTO]
+    abstracts over that state so {!Simple_lock} — and through it
+    {!Complex_lock} — can be instantiated over any protocol while the
+    checking, statistics, waits-for and observability layers stay
+    identical.
+
+    The types live in lib/core (next to {!Machine_intf}) so that the
+    protocol implementations in lib/locks can depend on lib/core without
+    a cycle: lib/core never depends on lib/locks; it only consumes packed
+    {!instance} values handed in by the caller. *)
+
+module type S = sig
+  type t
+
+  val proto_name : string
+  (** Short protocol name ("ticket", "mcs", "anderson", ...), used in
+      stats tables and diagnostics. *)
+
+  val make : name:string -> t
+  (** Allocate one lock's protocol state, unlocked. *)
+
+  val acquire : t -> int
+  (** Spin until the lock is held; returns the number of spin iterations
+      (0 = uncontended first-try acquisition, mirroring
+      {!Spin.Make.acquire}). *)
+
+  val try_acquire : t -> bool
+  (** One bounded attempt; never spins waiting for another thread. *)
+
+  val release : t -> unit
+  (** Release; only ever called by the holding thread (enforced by the
+      {!Simple_lock} checking layer, not here). *)
+
+  val is_locked : t -> bool
+  (** Momentary observation, diagnostics only. *)
+end
+
+(** One lock instance packed with its operations: what a protocol-generic
+    simple lock stores. *)
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+(** A protocol selector: [fname] names the protocol in tables and golden
+    rows; [instantiate] allocates one lock's state.  Obtain factories
+    from [Mach_locks.Locks.Make(M)] (or build custom ones). *)
+type factory = { fname : string; instantiate : name:string -> instance }
+
+let name (f : factory) = f.fname
+let make (f : factory) ~name = f.instantiate ~name
+
+let acquire (Instance ((module P), l)) = P.acquire l
+let try_acquire (Instance ((module P), l)) = P.try_acquire l
+let release (Instance ((module P), l)) = P.release l
+let is_locked (Instance ((module P), l)) = P.is_locked l
+let proto_name (Instance ((module P), _)) = P.proto_name

@@ -32,6 +32,11 @@ module type CELL = sig
   (** Atomically set the cell to 1 and return its previous value.  The lock
       has been acquired iff the returned value is 0 (paper, section 2). *)
 
+  val swap : t -> int -> int
+  (** Atomically store [v] and return the previous value (unconditional
+      exchange).  The enqueue instruction of queue locks: an MCS acquire
+      swaps its qnode id into the tail pointer. *)
+
   val compare_and_swap : t -> expected:int -> desired:int -> bool
   (** Atomic compare-and-swap; true on success. *)
 
@@ -136,6 +141,17 @@ module type MACHINE = sig
       state is domain-local (built lazily per domain).  Modules holding
       per-run state in a [machine_local] must also register a
       {!Run_reset} hook to rebuild it between runs. *)
+
+  (** {1 Fault injection} *)
+
+  val handoff_fault : unit -> bool
+  (** Consulted by queue-lock protocols at the point of an explicit lock
+      handoff (e.g. an MCS holder releasing its successor).  True means a
+      fault injector asked for this handoff to be dropped — the protocol
+      must skip the store that wakes the successor, modelling the lost
+      store/IPI of a buggy port.  Always false natively; the simulator
+      draws from its chaos RNG when the [drop_handoff] fault class is
+      armed. *)
 
   (** {1 Failure} *)
 

@@ -14,11 +14,19 @@ module Make (M : Machine_intf.MACHINE) = struct
   let h_wait = Obs_metrics.histogram "lock.wait_cycles"
   let h_hold = Obs_metrics.histogram "lock.hold_cycles"
 
+  (* A lock spins either on one flat cell via a {!Spin} protocol (the
+     tas/ttas family) or on protocol-private state behind a packed
+     {!Lock_proto.instance} (the lib/locks queue locks).  Everything
+     above the spin — checking, stats, waits-for, observability — is
+     shared. *)
+  type impl =
+    | Flat of { cell : M.Cell.t; protocol : Spin.protocol }
+    | Queued of Lock_proto.instance
+
   type t = {
     id : int;
-    cell : M.Cell.t;
+    impl : impl;
     lname : string;
-    protocol : Spin.protocol;
     stats : Lock_stats.t;
     mutable holder : M.thread option;
     mutable acquired_spl : Spl.t option; (* learned or pinned level *)
@@ -33,21 +41,30 @@ module Make (M : Machine_intf.MACHINE) = struct
 
   let next_id = Atomic.make 0
 
-  let make ?name ?(protocol = Spin.Tas_then_ttas) ?spl () =
+  let make ?name ?(protocol = Spin.Tas_then_ttas) ?proto ?spl () =
     let id = Atomic.fetch_and_add next_id 1 in
     let lname =
       match name with Some n -> n | None -> Printf.sprintf "slock%d" id
     in
+    let impl =
+      match proto with
+      | Some f -> Queued (Lock_proto.make f ~name:lname)
+      | None -> Flat { cell = M.Cell.make ~name:lname 0; protocol }
+    in
     {
       id;
-      cell = M.Cell.make ~name:lname 0;
+      impl;
       lname;
-      protocol;
       stats = Lock_stats.make ();
       holder = None;
       acquired_spl = spl;
       acquired_at = 0;
     }
+
+  let protocol_name t =
+    match t.impl with
+    | Flat { protocol; _ } -> Spin.protocol_name protocol
+    | Queued q -> Lock_proto.proto_name q
 
   let bump_held delta =
     let self = M.self () in
@@ -143,7 +160,13 @@ module Make (M : Machine_intf.MACHINE) = struct
           ~tid:(M.thread_id (M.self ()))
           ~tname:(M.thread_name (M.self ()))
           (wf_res t);
-      let spins = S.acquire ~hint:t.lname t.protocol t.cell in
+      let spins =
+        match t.impl with
+        | Flat { cell; protocol } -> S.acquire ~hint:t.lname protocol cell
+        | Queued q ->
+            M.spin_hint t.lname;
+            Lock_proto.acquire q
+      in
       if tracking then
         Waits_for.note_wait_done ~tid:(M.thread_id (M.self ())) (wf_res t);
       let wait_cycles = if spins > 0 then max 0 (M.now_cycles () - t0) else 0 in
@@ -156,14 +179,20 @@ module Make (M : Machine_intf.MACHINE) = struct
     if not (Atomic.get uniprocessor) then begin
       let held_cycles = max 0 (M.now_cycles () - t.acquired_at) in
       note_released t;
-      S.release t.cell;
+      (match t.impl with
+      | Flat { cell; _ } -> S.release cell
+      | Queued q -> Lock_proto.release q);
       obs_release t ~held_cycles
     end
 
   let try_lock t =
     if Atomic.get uniprocessor then true
     else begin
-      let ok = S.try_acquire t.cell in
+      let ok =
+        match t.impl with
+        | Flat { cell; _ } -> S.try_acquire cell
+        | Queued q -> Lock_proto.try_acquire q
+      in
       Lock_stats.record_try t.stats ~success:ok;
       if ok then begin
         Lock_stats.record_acquire t.stats ~contended:false ~spins:0;
@@ -183,7 +212,10 @@ module Make (M : Machine_intf.MACHINE) = struct
         unlock t;
         raise e
 
-  let is_locked t = M.Cell.get t.cell <> 0
+  let is_locked t =
+    match t.impl with
+    | Flat { cell; _ } -> M.Cell.get cell <> 0
+    | Queued q -> Lock_proto.is_locked q
   let holder t = t.holder
 
   let held_by_self t =

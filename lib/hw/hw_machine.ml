@@ -13,6 +13,7 @@ module Cell = struct
 
   (* [Atomic.exchange] gives the true test-and-set; present since 4.12. *)
   let test_and_set t = Atomic.exchange t.a 1
+  let swap t v = Atomic.exchange t.a v
 
   let compare_and_swap t ~expected ~desired =
     Atomic.compare_and_set t.a expected desired
@@ -120,6 +121,8 @@ let tls_set t ~key v =
   grow_tls t key;
   t.tls.(key) <- v
 
+(* No fault injector on the real machine. *)
+let handoff_fault () = false
 let fatal msg = raise (Kernel_panic msg)
 
 (* Every domain is a cpu of the one process-wide machine: machine-scoped

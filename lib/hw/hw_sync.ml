@@ -2,3 +2,6 @@
     native machine — used by the real-multicore benchmarks and tests. *)
 
 include Mach_core.Sync.Make (Hw_machine)
+
+(** The queue-lock suite on real atomics. *)
+module Locks = Mach_locks.Locks.Make (Hw_machine)

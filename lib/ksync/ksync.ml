@@ -4,3 +4,9 @@
     lock checking, events and TLS counters compose across subsystems. *)
 
 include Mach_core.Sync.Make (Mach_sim.Sim_machine)
+
+(** The scalable queue-lock suite on the same machine; [Locks.ticket],
+    [Locks.mcs], [Locks.anderson] are factories for [Slock.make ?proto]
+    (and [Clock.make ?proto]); [Locks.Brlock] is the big-reader
+    readers/writer lock. *)
+module Locks = Mach_locks.Locks.Make (Mach_sim.Sim_machine)

@@ -1,0 +1,145 @@
+(* Big-reader ("brlock") distributed readers/writer lock.
+
+   One reader-count cell per cpu plus one writer flag.  An uncontended
+   read acquisition is a single interlocked increment of the caller's OWN
+   per-cpu cell — no shared cache line, no reader-reader bus traffic —
+   which is the whole read-mostly win (Kogan et al.'s scalable reader
+   locks; Linux's historical brlock).  The price is paid by writers: a
+   write acquisition takes the writer flag and then sweeps every per-cpu
+   slot, waiting for each to drain to zero.
+
+   Writer preference: a reader that increments its slot and then finds
+   the writer flag raised backs out (decrements) and waits for the flag
+   to clear before retrying, so a writer's sweep always terminates.
+
+   Slot identity: the slot is chosen by the cpu at read-lock time, and
+   the matching decrement MUST hit the same slot even if the thread has
+   migrated between lock and unlock (kernels disable preemption here; the
+   simulator cannot).  [read_lock] therefore returns the slot index as a
+   token that [read_unlock] takes back; [with_read] hides the plumbing. *)
+
+module Obs_metrics = Mach_obs.Obs_metrics
+
+module Make (M : Mach_core.Machine_intf.MACHINE) = struct
+  (* Cycles a writer spends sweeping reader slots, across all brlocks. *)
+  let h_sweep = Obs_metrics.histogram "lock.brlock.sweep_spins"
+
+  type t = { readers : M.Cell.t array; writer : M.Cell.t }
+
+  let proto_name = "brlock"
+
+  (* Fixed at the simulator's cpu ceiling: hardware cpu ids (domain ids)
+     can exceed it over a process lifetime, so slots are taken mod
+     [n_slots] — same-slot sharing is a contention cost, never an
+     error. *)
+  let n_slots = 64
+
+  let make ~name =
+    {
+      readers =
+        Array.init n_slots (fun i ->
+            M.Cell.make ~name:(Printf.sprintf "%s.r%d" name i) 0);
+      writer = M.Cell.make ~name:(name ^ ".w") 0;
+    }
+
+  let read_lock t =
+    let slot = M.current_cpu () mod n_slots in
+    let mine = t.readers.(slot) in
+    let rec go () =
+      ignore (M.Cell.fetch_and_add mine 1);
+      if M.Cell.get t.writer = 0 then slot
+      else begin
+        (* Back out and let the writer's sweep drain; retry after. *)
+        ignore (M.Cell.fetch_and_add mine (-1));
+        let rec wait () =
+          if M.Cell.get t.writer <> 0 then begin
+            M.spin_pause ();
+            wait ()
+          end
+        in
+        wait ();
+        go ()
+      end
+    in
+    go ()
+
+  let read_unlock t ~slot = ignore (M.Cell.fetch_and_add t.readers.(slot) (-1))
+
+  let write_lock t =
+    (* Take the writer flag (writers exclude each other on it), then
+       sweep every per-cpu slot until it drains. *)
+    let rec flag spins =
+      if M.Cell.get t.writer = 0 && M.Cell.test_and_set t.writer = 0 then
+        spins
+      else begin
+        M.spin_pause ();
+        flag (spins + 1)
+      end
+    in
+    let spins = ref (flag 0) in
+    let sweep = ref 0 in
+    for i = 0 to n_slots - 1 do
+      while M.Cell.get t.readers.(i) <> 0 do
+        incr sweep;
+        M.spin_pause ()
+      done
+    done;
+    spins := !spins + !sweep;
+    Obs_metrics.observe ~cpu:(M.current_cpu ()) h_sweep !sweep;
+    !spins
+
+  let write_unlock t = M.Cell.set t.writer 0
+
+  let with_read t f =
+    let slot = read_lock t in
+    match f () with
+    | v ->
+        read_unlock t ~slot;
+        v
+    | exception e ->
+        read_unlock t ~slot;
+        raise e
+
+  let with_write t f =
+    ignore (write_lock t);
+    match f () with
+    | v ->
+        write_unlock t;
+        v
+    | exception e ->
+        write_unlock t;
+        raise e
+
+  let is_locked t =
+    M.Cell.get t.writer <> 0
+    || Array.exists (fun r -> M.Cell.get r <> 0) t.readers
+
+  (* The writer side alone satisfies {!Mach_core.Lock_proto.S}: useful for
+     conformance tests and for instantiating a Simple_lock over the
+     brlock's writer path. *)
+  module Writer = struct
+    type nonrec t = t
+
+    let proto_name = "brlock-writer"
+    let make ~name = make ~name
+    let acquire = write_lock
+
+    let try_acquire t =
+      M.Cell.get t.writer = 0
+      && M.Cell.test_and_set t.writer = 0
+      && begin
+           let clear = ref true in
+           for i = 0 to n_slots - 1 do
+             if M.Cell.get t.readers.(i) <> 0 then clear := false
+           done;
+           if !clear then true
+           else begin
+             M.Cell.set t.writer 0;
+             false
+           end
+         end
+
+    let release = write_unlock
+    let is_locked = is_locked
+  end
+end

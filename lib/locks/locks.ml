@@ -1,0 +1,33 @@
+(* The scalable-lock suite, bundled per machine and packaged as
+   {!Mach_core.Lock_proto.factory} values so [Simple_lock.make ?proto]
+   (and through it [Complex_lock.make ?proto]) can be instantiated over
+   any protocol. *)
+
+module Lock_proto = Mach_core.Lock_proto
+
+module Make (M : Mach_core.Machine_intf.MACHINE) = struct
+  module Ticket = Ticket_lock.Make (M)
+  module Mcs = Mcs_lock.Make (M)
+  module Anderson = Anderson_lock.Make (M)
+  module Brlock = Brlock.Make (M)
+
+  let pack (type a) (module P : Lock_proto.S with type t = a) =
+    {
+      Lock_proto.fname = P.proto_name;
+      instantiate =
+        (fun ~name -> Lock_proto.Instance ((module P), P.make ~name));
+    }
+
+  let ticket = pack (module Ticket)
+  let mcs = pack (module Mcs)
+  let anderson = pack (module Anderson)
+  let brlock_writer = pack (module Brlock.Writer)
+
+  (* The queue-lock mutexes, in table order. *)
+  let all = [ ticket; mcs; anderson ]
+
+  let factory_of_string s =
+    List.find_opt
+      (fun f -> String.equal f.Lock_proto.fname s)
+      (all @ [ brlock_writer ])
+end

@@ -1,0 +1,65 @@
+(* Ticket lock: FIFO by construction, with proportional backoff.
+
+   One fetch-and-increment takes a ticket; the holder's release publishes
+   the next ticket in [owner].  Every waiter spins reading the single
+   [owner] cell — each release therefore still invalidates all waiters
+   (one miss per waiter per handoff), but unlike tas there is exactly one
+   interlocked bus operation per acquisition no matter how contended the
+   lock is, and the grant order is the arrival order.  The proportional
+   backoff (Mellor-Crummey & Scott, 1991) spaces re-reads by the caller's
+   distance from the head of the queue, trimming the per-handoff miss
+   storm. *)
+
+module Make (M : Mach_core.Machine_intf.MACHINE) = struct
+  type t = {
+    next_ticket : M.Cell.t;
+    owner : M.Cell.t;
+    (* Ticket of the current holder, stashed between acquire and release.
+       Written only by the thread inside the critical section, published
+       to its successor by the [owner] store of [release]. *)
+    mutable holder_ticket : int;
+  }
+
+  let proto_name = "ticket"
+
+  let make ~name =
+    {
+      next_ticket = M.Cell.make ~name:(name ^ ".next") 0;
+      owner = M.Cell.make ~name:(name ^ ".owner") 0;
+      holder_ticket = 0;
+    }
+
+  (* Delay proportional to queue position: a waiter [d] tickets from the
+     head backs off [d * unit] cycles between probes, capped by the
+     machine's backoff cap so a long queue cannot overshoot the grant. *)
+  let backoff_unit = 16
+
+  let acquire t =
+    let my = M.Cell.fetch_and_add t.next_ticket 1 in
+    let cap = M.spin_max_backoff () in
+    let rec spin spins =
+      let cur = M.Cell.get t.owner in
+      if cur = my then spins
+      else begin
+        M.spin_pause ();
+        M.cycles (Stdlib.min ((my - cur) * backoff_unit) cap);
+        spin (spins + 1)
+      end
+    in
+    let spins = spin 0 in
+    t.holder_ticket <- my;
+    spins
+
+  let try_acquire t =
+    let cur = M.Cell.get t.owner in
+    let nt = M.Cell.get t.next_ticket in
+    nt = cur
+    && M.Cell.compare_and_swap t.next_ticket ~expected:cur ~desired:(cur + 1)
+    && begin
+         t.holder_ticket <- cur;
+         true
+       end
+
+  let release t = M.Cell.set t.owner (t.holder_ticket + 1)
+  let is_locked t = M.Cell.get t.owner <> M.Cell.get t.next_ticket
+end

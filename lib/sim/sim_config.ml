@@ -19,6 +19,7 @@ type faults = {
   delay_interrupt : int; (* deliverable interrupt deferred when possible *)
   perturb_pick : int; (* per-step chance to pick a uniform-random candidate *)
   preempt_on_acquire : int; (* forced preemption at test-and-set boundaries *)
+  drop_handoff : int; (* queue-lock successor handoff silently dropped *)
 }
 
 let no_faults =
@@ -31,11 +32,13 @@ let no_faults =
     delay_interrupt = 0;
     perturb_pick = 0;
     preempt_on_acquire = 0;
+    drop_handoff = 0;
   }
 
 let faults_active f =
   f.drop_wakeup > 0 || f.delay_wakeup > 0 || f.spurious_wakeup > 0
   || f.delay_interrupt > 0 || f.perturb_pick > 0 || f.preempt_on_acquire > 0
+  || f.drop_handoff > 0
 
 (* Model-checking hooks.  When [mc] is set the engine stops drawing from
    its RNG: at every scheduler step it enumerates the enabled transitions

@@ -38,6 +38,10 @@ type faults = {
   preempt_on_acquire : int;
       (** 1-in-N chance of a forced preemption (thread descheduled and
           re-enqueued) immediately before a test-and-set *)
+  drop_handoff : int;
+      (** 1-in-N chance that a queue-lock's explicit successor handoff
+          (e.g. the MCS holder's store to its successor's spin cell) is
+          silently dropped — the spin-lock analogue of a lost wakeup *)
 }
 
 val no_faults : faults

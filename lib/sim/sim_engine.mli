@@ -56,6 +56,7 @@ type chaos_stats = {
   delayed_interrupts : int;
   perturbed_picks : int;
   forced_preemptions : int;
+  dropped_handoffs : int;
 }
 (** Counts of the fault injections actually fired during a run.  Kept out
     of {!stats} so the golden determinism format is untouched. *)
@@ -151,10 +152,16 @@ module Cell : sig
   val get : t -> int
   val set : t -> int -> unit
   val test_and_set : t -> int
+  val swap : t -> int -> int
   val compare_and_swap : t -> expected:int -> desired:int -> bool
   val fetch_and_add : t -> int -> int
   val name : t -> string
 end
+
+val handoff_fault : unit -> bool
+(** One chaos draw against the [drop_handoff] fault class (false, with no
+    draw, when the class is off).  See
+    {!Mach_core.Machine_intf.MACHINE.handoff_fault}. *)
 
 (** {1 Introspection} *)
 

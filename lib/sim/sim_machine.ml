@@ -29,6 +29,7 @@ let cycles = Sim_engine.cycles
 let now_cycles = Sim_engine.now_cycles
 let tls_get = Sim_engine.tls_get
 let tls_set = Sim_engine.tls_set
+let handoff_fault = Sim_engine.handoff_fault
 let fatal = Sim_engine.fatal
 
 (* One domain hosts at most one simulation at a time, and concurrent

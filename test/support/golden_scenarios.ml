@@ -84,8 +84,54 @@ let pageout () =
   Vm.Vm_pageout.stop_daemon daemon;
   Vm.Vm_map.release map
 
+(* The same contention workload over each lib/locks queue-lock protocol,
+   plus a read-mostly workload over the big-reader lock: pins the exact
+   cell-op sequence (and hence schedule and cost model) of every new
+   protocol. *)
+let queue_contention proto () =
+  let lock = K.Slock.make ~name:"golden" ~proto () in
+  let data = Array.init 4 (fun _ -> Engine.Cell.make ~name:"d" 0) in
+  let cpus = Engine.cpu_count () in
+  let worker () =
+    for _ = 1 to 20 do
+      K.Slock.lock lock;
+      Array.iter (fun d -> ignore (Engine.Cell.fetch_and_add d 1)) data;
+      Engine.cycles 20;
+      K.Slock.unlock lock
+    done
+  in
+  let ts = List.init cpus (fun _ -> Engine.spawn worker) in
+  List.iter Engine.join ts
+
+let brlock_readers () =
+  let module B = K.Locks.Brlock in
+  let l = B.make ~name:"golden-br" in
+  let d = Engine.Cell.make ~name:"d" 0 in
+  let cpus = Engine.cpu_count () in
+  let worker i () =
+    for j = 1 to 20 do
+      (* One write per eight ops on one worker; everyone else reads. *)
+      if i = 0 && j mod 8 = 0 then
+        B.with_write l (fun () -> ignore (Engine.Cell.fetch_and_add d 1))
+      else
+        B.with_read l (fun () ->
+            ignore (Engine.Cell.get d);
+            Engine.cycles 10)
+    done
+  in
+  let ts = List.init cpus (fun i -> Engine.spawn (worker i)) in
+  List.iter Engine.join ts
+
 let scenarios : (string * (unit -> unit)) list =
-  [ ("contention", contention); ("shootdown", shootdown); ("pageout", pageout) ]
+  [
+    ("contention", contention);
+    ("shootdown", shootdown);
+    ("pageout", pageout);
+    ("contention-ticket", queue_contention K.Locks.ticket);
+    ("contention-mcs", queue_contention K.Locks.mcs);
+    ("contention-anderson", queue_contention K.Locks.anderson);
+    ("brlock-readers", brlock_readers);
+  ]
 
 (* The configuration matrix exercises every scheduler policy (and thus
    every RNG-consuming code path in the candidate picker). *)
@@ -99,6 +145,16 @@ let matrix : (string * int * int * Config.policy) list =
     ("shootdown", 4, 5, Config.Random_policy);
     ("pageout", 3, 2, Config.Random_policy);
     ("pageout", 3, 9, Config.Timed);
+    (* New-protocol rows are appended so every pre-existing line of the
+       golden file stays byte-identical. *)
+    ("contention-ticket", 8, 3, Config.Timed);
+    ("contention-ticket", 4, 11, Config.Random_policy);
+    ("contention-mcs", 8, 3, Config.Timed);
+    ("contention-mcs", 4, 11, Config.Random_policy);
+    ("contention-anderson", 8, 3, Config.Timed);
+    ("contention-anderson", 4, 7, Config.Round_robin);
+    ("brlock-readers", 8, 3, Config.Timed);
+    ("brlock-readers", 4, 5, Config.Random_policy);
   ]
 
 let line (name, cpus, seed, policy) =

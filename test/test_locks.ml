@@ -1,0 +1,369 @@
+(* The scalable queue-lock suite (lib/locks): lockstep conformance
+   against the flat simple-lock model, mutual-exclusion and FIFO-order
+   properties, big-reader semantics, complex-lock-over-queue-lock
+   composition, an exhaustive model-checking pass over the MCS handoff,
+   and the drop-handoff chaos class with its "lost handoff" diagnosis. *)
+
+module Engine = Mach_sim.Sim_engine
+module Config = Mach_sim.Sim_config
+module K = Mach_ksync.Ksync
+module Lock_proto = Mach_core.Lock_proto
+module Mc = Mach_mc.Mc
+open Test_support
+
+let mutex_factories =
+  [ K.Locks.ticket; K.Locks.mcs; K.Locks.anderson; K.Locks.brlock_writer ]
+
+let factory_name = Lock_proto.name
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep conformance (qcheck): a queue-lock Slock and a flat Slock    *)
+(* driven by the same op script must agree on every observable.          *)
+(* ------------------------------------------------------------------ *)
+
+let conformance_script proto script =
+  in_sim (fun () ->
+      let queued = K.Slock.make ~name:"queued" ~proto () in
+      let flat = K.Slock.make ~name:"flat" () in
+      let held = ref false in
+      List.iter
+        (fun op ->
+          (* Map the raw int to an op legal in the current state, as the
+             model-based tests do: shrinking stays structure-free. *)
+          match (!held, op mod 4) with
+          | false, (0 | 1) ->
+              K.Slock.lock queued;
+              K.Slock.lock flat;
+              held := true
+          | false, 2 ->
+              let a = K.Slock.try_lock queued in
+              let b = K.Slock.try_lock flat in
+              if a <> b then
+                Alcotest.failf "try_lock disagreement (free): %b vs %b" a b;
+              held := a
+          | true, (0 | 1) ->
+              K.Slock.unlock queued;
+              K.Slock.unlock flat;
+              held := false
+          | true, 2 ->
+              (* Both are held by us; a try must fail on both. *)
+              let a = K.Slock.try_lock queued in
+              let b = K.Slock.try_lock flat in
+              if a || b then
+                Alcotest.failf "try_lock disagreement (held): %b vs %b" a b
+          | _, _ ->
+              let a = K.Slock.is_locked queued in
+              let b = K.Slock.is_locked flat in
+              if a <> b then
+                Alcotest.failf "is_locked disagreement: %b vs %b" a b)
+        script;
+      if !held then begin
+        K.Slock.unlock queued;
+        K.Slock.unlock flat
+      end;
+      true)
+
+let conformance_tests =
+  List.map
+    (fun proto ->
+      QCheck_alcotest.to_alcotest
+        (QCheck.Test.make ~count:120
+           ~name:(Printf.sprintf "lockstep: %s == flat" (factory_name proto))
+           QCheck.(list_of_size (Gen.int_range 1 40) (int_range 0 11))
+           (conformance_script proto)))
+    mutex_factories
+
+(* ------------------------------------------------------------------ *)
+(* Mutual exclusion under contention                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The critical section reads, pauses and writes through shared cells
+   (every access a preemption point), plus an occupancy flag: any
+   exclusion failure shows up as a lost update or a double entry. *)
+let exclusion_scenario ~proto ~workers ~iters () =
+  let l = K.Slock.make ~name:"excl" ~proto () in
+  let count = Engine.Cell.make ~name:"count" 0 in
+  let inside = Engine.Cell.make ~name:"inside" 0 in
+  let ts =
+    List.init workers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "w%d" i) (fun () ->
+            for _ = 1 to iters do
+              K.Slock.lock l;
+              if Engine.Cell.get inside <> 0 then
+                Engine.fatal "two threads inside the critical section";
+              Engine.Cell.set inside 1;
+              let v = Engine.Cell.get count in
+              Engine.cycles 5;
+              Engine.Cell.set count (v + 1);
+              Engine.Cell.set inside 0;
+              K.Slock.unlock l
+            done))
+  in
+  List.iter Engine.join ts;
+  check_int "no lost update" (workers * iters) (Engine.Cell.get count)
+
+let test_mutual_exclusion () =
+  List.iter
+    (fun proto ->
+      List.iter
+        (fun seed ->
+          let cfg = Config.exploration ~cpus:4 ~seed () in
+          in_sim ~cfg (exclusion_scenario ~proto ~workers:4 ~iters:6))
+        [ 1; 2; 3 ])
+    mutex_factories
+
+(* ------------------------------------------------------------------ *)
+(* FIFO grant order (ticket, MCS, Anderson are all FIFO by construction) *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_order () =
+  List.iter
+    (fun proto ->
+      let arrivals, grants =
+        in_sim
+          ~cfg:{ Config.default with Config.cpus = 6 }
+          (fun () ->
+            let l = K.Slock.make ~name:"fifo" ~proto () in
+            let arrivals = ref [] and grants = ref [] in
+            K.Slock.lock l;
+            let ts =
+              List.init 4 (fun i ->
+                  (* Each waiter bound to its own cpu: dispatches happen
+                     at the same clock, so the 200-cycle stagger alone
+                     fixes the arrival order, and under the Timed policy
+                     the gaps dwarf the few cycles between the arrival
+                     note and the enqueue instruction — the noted order
+                     IS the enqueue order. *)
+                  Engine.spawn ~bound:(i + 1)
+                    ~name:(Printf.sprintf "w%d" i)
+                    (fun () ->
+                      Engine.cycles (200 * (i + 1));
+                      (* End the slice so the arrival note below runs in
+                         clock order, not spawn-tie order: Engine.cycles
+                         is not a preemption point. *)
+                      Engine.pause ();
+                      arrivals := i :: !arrivals;
+                      K.Slock.lock l;
+                      grants := i :: !grants;
+                      Engine.cycles 20;
+                      K.Slock.unlock l))
+            in
+            (* Hold until every waiter is provably enqueued. *)
+            Engine.cycles 5_000;
+            K.Slock.unlock l;
+            List.iter Engine.join ts;
+            (List.rev !arrivals, List.rev !grants))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: all four waiters arrived" (factory_name proto))
+        [ 0; 1; 2; 3 ]
+        (List.sort compare arrivals);
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s grants in arrival order" (factory_name proto))
+        arrivals grants)
+    [ K.Locks.ticket; K.Locks.mcs; K.Locks.anderson ]
+
+(* ------------------------------------------------------------------ *)
+(* Big-reader lock semantics                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Writers keep two cells equal; readers snapshot both under the read
+   lock.  Any reader observing a torn pair proves a writer ran inside a
+   read-side section. *)
+let brlock_scenario ~readers ~writers ~iters () =
+  let module B = K.Locks.Brlock in
+  let l = B.make ~name:"br" in
+  let a = Engine.Cell.make ~name:"a" 0 in
+  let b = Engine.Cell.make ~name:"b" 0 in
+  let rs =
+    List.init readers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "r%d" i) (fun () ->
+            for _ = 1 to iters do
+              B.with_read l (fun () ->
+                  let x = Engine.Cell.get a in
+                  Engine.cycles 3;
+                  let y = Engine.Cell.get b in
+                  if x <> y then Engine.fatal "torn read under read lock")
+            done))
+  in
+  let ws =
+    List.init writers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "wr%d" i) (fun () ->
+            for _ = 1 to iters do
+              B.with_write l (fun () ->
+                  let v = Engine.Cell.get a + 1 in
+                  Engine.Cell.set a v;
+                  Engine.cycles 3;
+                  Engine.Cell.set b v)
+            done))
+  in
+  List.iter Engine.join rs;
+  List.iter Engine.join ws;
+  check_int "every write landed" (writers * iters) (Engine.Cell.get a);
+  check_bool "drained" false (B.is_locked l)
+
+let test_brlock_exclusion () =
+  List.iter
+    (fun seed ->
+      let cfg = Config.exploration ~cpus:4 ~seed () in
+      in_sim ~cfg (brlock_scenario ~readers:3 ~writers:2 ~iters:5))
+    [ 1; 2; 3; 4 ]
+
+(* The read-mostly win: concurrent readers on their own per-cpu slots
+   never disturb each other, while readers serializing on one ttas lock
+   invalidate every other reader's cached copy on each release — so the
+   distributed lock must cost markedly fewer bus transactions for the
+   same all-reader workload. *)
+let test_brlock_read_local () =
+  let runs reads =
+    let cfg = { Config.default with Config.cpus = 4 } in
+    let stats =
+      Engine.run ~cfg (fun () ->
+          let ts =
+            List.init 4 (fun i ->
+                Engine.spawn ~name:(Printf.sprintf "r%d" i) reads)
+          in
+          List.iter Engine.join ts)
+    in
+    stats.Engine.bus_transactions
+  in
+  let module B = K.Locks.Brlock in
+  let br = B.make ~name:"br" in
+  let brlock_bus =
+    runs (fun () ->
+        for _ = 1 to 30 do
+          B.with_read br (fun () -> Engine.cycles 5)
+        done)
+  in
+  let tt = K.Slock.make ~name:"tt" ~protocol:Mach_core.Spin.Ttas () in
+  let ttas_bus =
+    runs (fun () ->
+        for _ = 1 to 30 do
+          K.Slock.with_lock tt (fun () -> Engine.cycles 5)
+        done)
+  in
+  if brlock_bus >= ttas_bus then
+    Alcotest.failf "brlock reads not bus-quiet: %d >= %d bus txns" brlock_bus
+      ttas_bus
+
+(* ------------------------------------------------------------------ *)
+(* Complex lock over a queue-lock interlock                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_complex_over_mcs () =
+  let cfg = Config.exploration ~cpus:4 ~seed:7 () in
+  in_sim ~cfg (fun () ->
+      let cl = K.Clock.make ~name:"cl" ~proto:K.Locks.mcs ~can_sleep:false () in
+      let c = Engine.Cell.make ~name:"c" 0 in
+      let ts =
+        List.init 3 (fun i ->
+            Engine.spawn ~name:(Printf.sprintf "t%d" i) (fun () ->
+                for _ = 1 to 4 do
+                  K.Clock.lock_write cl;
+                  let v = Engine.Cell.get c in
+                  Engine.cycles 2;
+                  Engine.Cell.set c (v + 1);
+                  K.Clock.lock_done cl;
+                  K.Clock.lock_read cl;
+                  ignore (Engine.Cell.get c);
+                  K.Clock.lock_done cl
+                done))
+      in
+      List.iter Engine.join ts;
+      check_int "writes serialized" 12 (Engine.Cell.get c))
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive model checking: MCS handoff at 2 cpus                      *)
+(* ------------------------------------------------------------------ *)
+
+let mcs_mc_scenario () =
+  let l = K.Slock.make ~name:"m" ~proto:K.Locks.mcs () in
+  let c = Engine.Cell.make ~name:"c" 0 in
+  let ts =
+    List.init 2 (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "w%d" i) (fun () ->
+            K.Slock.lock l;
+            ignore (Engine.Cell.fetch_and_add c 1);
+            K.Slock.unlock l))
+  in
+  List.iter Engine.join ts;
+  if Engine.Cell.get c <> 2 then Engine.fatal "lost increment"
+
+let test_mc_mcs_handoff () =
+  let r = Mc.check ~cpus:2 ~mode:Mc.Dpor mcs_mc_scenario in
+  check_bool "complete" true r.Mc.complete;
+  check_bool "verified" true r.Mc.verified;
+  check_bool "explored more than one schedule" true
+    (r.Mc.stats.Mc.executions > 1)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: dropped handoff -> spin deadlock diagnosed as a lost handoff   *)
+(* ------------------------------------------------------------------ *)
+
+let test_drop_handoff_detected () =
+  let faults =
+    { Config.no_faults with Config.drop_handoff = 1 (* every handoff *) }
+  in
+  let cfg =
+    {
+      (Config.exploration ~cpus:3 ~seed:5 ()) with
+      Config.faults;
+      track_waits = true;
+      watchdog_steps = 30_000;
+    }
+  in
+  match
+    Engine.run_outcome ~cfg (fun () ->
+        Mach_chaos.Chaos_scenarios.mcs_handoff ~workers:3 ())
+  with
+  | Engine.Deadlocked (Engine.Spin_deadlock, report) ->
+      check_bool "report names the lost handoff" true
+        (contains report "lost handoff");
+      let chaos = Option.get (Engine.last_chaos ()) in
+      check_bool "handoff drops counted" true
+        (chaos.Engine.dropped_handoffs > 0)
+  | Engine.Deadlocked (Engine.Sleep_deadlock, _) ->
+      Alcotest.fail "expected a spin deadlock, got a sleep deadlock"
+  | Engine.Completed _ -> Alcotest.fail "expected a deadlock, ran clean"
+  | Engine.Panicked msg -> Alcotest.failf "panic: %s" msg
+  | Engine.Hit_step_limit -> Alcotest.fail "hit step limit"
+
+(* With the class disabled the chaos RNG must not be consumed: stats are
+   byte-identical to a run with no faults record at all. *)
+let test_drop_handoff_zero_draw () =
+  let scenario () = Mach_chaos.Chaos_scenarios.mcs_handoff ~workers:3 () in
+  let base = Config.exploration ~cpus:3 ~seed:11 () in
+  let off =
+    { base with Config.faults = { Config.no_faults with Config.drop_wakeup = 0 } }
+  in
+  let a = Format.asprintf "%a" Engine.pp_stats (Engine.run ~cfg:base scenario) in
+  let b = Format.asprintf "%a" Engine.pp_stats (Engine.run ~cfg:off scenario) in
+  Alcotest.(check string) "byte-identical stats" a b
+
+let () =
+  Alcotest.run "locks"
+    [
+      ("conformance", conformance_tests);
+      ( "properties",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+          Alcotest.test_case "FIFO grant order" `Quick test_fifo_order;
+          Alcotest.test_case "brlock exclusion" `Quick test_brlock_exclusion;
+          Alcotest.test_case "brlock reads are bus-quiet" `Quick
+            test_brlock_read_local;
+          Alcotest.test_case "complex lock over mcs" `Quick
+            test_complex_over_mcs;
+        ] );
+      ( "mc",
+        [
+          Alcotest.test_case "mcs handoff exhaustive at 2 cpus" `Quick
+            test_mc_mcs_handoff;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "dropped handoff diagnosed" `Quick
+            test_drop_handoff_detected;
+          Alcotest.test_case "disabled class draws nothing" `Quick
+            test_drop_handoff_zero_draw;
+        ] );
+    ]
