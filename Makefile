@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke chaos-smoke mc-smoke clean
+.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke report-smoke chaos-smoke mc-smoke clean
 
 all: build
 
@@ -30,8 +30,11 @@ perf-smoke:
 # Perf-regression gate: re-measure engine throughput (engine-only, fast)
 # and fail if engine.vs_baseline drops below 0.9x the committed
 # reference (bench/perf_reference.json).
+# Full repeats even in CI: the gated statistic is best-of-N steps/sec
+# (noise only slows a run), and --engine-only keeps 10 repeats ~2s —
+# best-of-3 under --fast was inside the noise floor of the 3% check.
 perf-gate:
-	dune exec bench/perf.exe -- --fast --engine-only
+	dune exec bench/perf.exe -- --engine-only
 	dune exec bench/perf_gate.exe
 
 # Prove the gate trips: inject a 2x slowdown into the measured value and
@@ -57,7 +60,25 @@ trace-smoke:
 		| grep "trace JSON ok"
 	grep -q "Tlb_shootdown_start" /tmp/machsim-trace.json
 	grep -q "Tlb_shootdown_done" /tmp/machsim-trace.json
+	grep -q "Span_close" /tmp/machsim-trace.json
+	grep -q '"span:' /tmp/machsim-trace.json
 	@echo "trace-smoke passed"
+
+# Causal-observability smoke: the report subcommand must attribute the
+# contention workload's critical path to the contended lock class and
+# print the blocked-by table, and a chaos-detected hang must carry the
+# flight-recorder dump (closed-span tails + each thread's still-open
+# spans — the section 7 cycle's evidence).
+report-smoke:
+	dune exec bin/machsim.exe -- report contention --cpus 16 \
+		| tee /tmp/machsim-report.out
+	grep -q "blocked-by edges" /tmp/machsim-report.out
+	grep -q "dominant: contended" /tmp/machsim-report.out
+	grep -q "flight recorder" /tmp/machsim-report.out
+	dune exec bin/machsim.exe -- chaos --seeds 5 > /tmp/machsim-chaos-flight.out
+	grep -q "open spans at the hang" /tmp/machsim-chaos-flight.out
+	grep -q "lock:the-lock" /tmp/machsim-chaos-flight.out
+	@echo "report-smoke passed"
 
 # Fault-injection smoke: reproduce and detect the section 7 interrupt
 # deadlock (waits-for cycle) and the section 6 lost wakeup (orphaned

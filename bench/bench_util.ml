@@ -49,12 +49,20 @@ module Obs_profile = Mach_obs.Obs_profile
 module Obs_histogram = Mach_obs.Obs_histogram
 module Obs_json = Mach_obs.Obs_json
 
+(* Experiments can attach extra JSON sections (keyed objects) to their
+   entry in BENCH_observability.json — E18 uses this for its span /
+   critical-path / flight sections.  Cleared with the rest of the
+   observability state before each experiment. *)
+let obs_extra : (string * Obs_json.t) list ref = ref []
+let obs_add_json key j = obs_extra := (key, j) :: !obs_extra
+
 (* The metrics registry and contention profiler are process-global; the
    driver resets them before each experiment so each section reports that
    experiment's runs only. *)
 let obs_reset () =
   Obs_metrics.reset ();
-  Obs_profile.reset ()
+  Obs_profile.reset ();
+  obs_extra := []
 
 let latency_histograms =
   [
@@ -98,10 +106,11 @@ let obs_section ~id () =
 
 let obs_json () =
   Obs_json.Obj
-    [
-      ("metrics", Obs_metrics.to_json ());
-      ("profile", Obs_profile.to_json ());
-    ]
+    ([
+       ("metrics", Obs_metrics.to_json ());
+       ("profile", Obs_profile.to_json ());
+     ]
+    @ List.rev !obs_extra)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: native per-operation costs                                 *)

@@ -47,35 +47,101 @@ let wall f =
    future run reports its ratio to the same fixed point. *)
 let baseline_steps_per_sec = 1_975_301.
 
-let engine_throughput ~repeats ~iters =
-  let cfg = { (Config.bench ~cpus:16 ()) with Config.seed = 3 } in
-  (* One untimed warmup run so allocator effects land outside the clock. *)
-  ignore (Engine.run ~cfg (e1_scenario ~iters));
-  let steps = ref 0 in
+(* Host-speed calibration: a fixed-work integer loop with no engine,
+   no allocation and no observability hooks.  Engine steps/sec divided
+   by calibration ops/sec cancels host speed — frequency scaling, a
+   throttled or shared core slow both numerator and denominator — so
+   the perf gate can compare the normalized value against a committed
+   reference without absolute-throughput noise: only a real engine
+   change moves the ratio.  Best-of-5 for the same reason the engine
+   row is best-of-N (noise only ever slows a run). *)
+let calib_iters = 10_000_000
+
+let calib_once () =
+  let x = ref 0x12345 in
   let (), secs =
     wall (fun () ->
-        for _ = 1 to repeats do
-          let s = Engine.run ~cfg (e1_scenario ~iters) in
-          steps := !steps + s.Engine.steps
-        done)
+        for _ = 1 to calib_iters do
+          (* Knuth's 64-bit LCG multiplier, truncated to OCaml's int. *)
+          x := (!x * 2862933555777941757) + 3037000493
+        done;
+        ignore (Sys.opaque_identity !x))
   in
-  let sps = float_of_int !steps /. secs in
+  float_of_int calib_iters /. secs
+
+let engine_throughput ~repeats ~iters =
+  (* The gated row is measured with spans OFF: the committed reference
+     predates the span layer, so the perf gate polices the disabled-mode
+     overhead (the "observability you are not using must be ~free"
+     promise).  A second spans-on row records the enabled-mode cost for
+     the trajectory without gating it. *)
+  let measure ~spans =
+    let cfg = { (Config.bench ~cpus:16 ()) with Config.seed = 3; spans } in
+    (* Sustained untimed warmup (~0.3s): one run is not enough to carry
+       allocator effects AND cpu frequency ramp outside the clock. *)
+    let wt0 = Unix.gettimeofday () in
+    ignore (Engine.run ~cfg (e1_scenario ~iters));
+    while Unix.gettimeofday () -. wt0 < 0.3 do
+      ignore (Engine.run ~cfg (e1_scenario ~iters))
+    done;
+    (* Each repeat is timed on its own and the BEST one is the gated
+       statistic: host noise (frequency scaling, a busy core, GC luck)
+       only ever slows a run, so best-of-N is the estimate of what the
+       engine can do — a mean lets one cold repeat fail the gate. *)
+    (* A short calibration sample is interleaved after every repeat so
+       that the engine and calibration best-of-N cover the SAME time
+       window: on a shared core, disjoint windows can land in different
+       throttle modes and make the normalized ratio noisier than the
+       absolute number it is meant to stabilize. *)
+    let steps = ref 0 in
+    let total = ref 0.0 in
+    let best = ref 0.0 in
+    let best_calib = ref 0.0 in
+    for _ = 1 to repeats do
+      let s, secs = wall (fun () -> Engine.run ~cfg (e1_scenario ~iters)) in
+      steps := !steps + s.Engine.steps;
+      total := !total +. secs;
+      let sps = float_of_int s.Engine.steps /. secs in
+      if sps > !best then best := sps;
+      let c = calib_once () in
+      if c > !best_calib then best_calib := c
+    done;
+    (!steps, !total, !best, !best_calib)
+  in
+  let steps_off, off_s, sps, calib = measure ~spans:false in
+  let _, _, sps_on, _ = measure ~spans:true in
+  let vs_calib = sps /. calib in
   Printf.printf
-    "engine: 16-cpu E1 contention x%d  steps=%d  wall=%.3fs  steps/sec=%.0f \
-     (%.2fx of pre-overhaul baseline)\n%!"
-    repeats !steps secs sps
+    "engine: 16-cpu E1 contention x%d  steps=%d  wall=%.3fs  best \
+     steps/sec=%.0f (%.2fx of pre-overhaul baseline)\n%!"
+    repeats steps_off off_s sps
     (sps /. baseline_steps_per_sec);
+  Printf.printf
+    "engine: same workload, spans on  steps/sec=%.0f  (%.3fx of spans-off)\n%!"
+    sps_on (sps_on /. sps);
+  Printf.printf
+    "engine: calibration %.0f ops/sec; normalized steps-per-calib-op=%.5f\n%!"
+    calib vs_calib;
   ( sps,
     Obs_json.Obj
       [
         ("scenario", Obs_json.String "e1-contention-16cpu");
         ("repeats", Obs_json.Int repeats);
         ("iters_per_worker", Obs_json.Int iters);
-        ("steps", Obs_json.Int !steps);
-        ("wall_s", Obs_json.Float secs);
+        ("steps", Obs_json.Int steps_off);
+        ("wall_s", Obs_json.Float off_s);
         ("steps_per_sec", Obs_json.Float sps);
         ("baseline_steps_per_sec", Obs_json.Float baseline_steps_per_sec);
         ("vs_baseline", Obs_json.Float (sps /. baseline_steps_per_sec));
+        ("calib_ops_per_sec", Obs_json.Float calib);
+        ("vs_calib", Obs_json.Float vs_calib);
+        ( "spans",
+          Obs_json.Obj
+            [
+              ("off_steps_per_sec", Obs_json.Float sps);
+              ("on_steps_per_sec", Obs_json.Float sps_on);
+              ("on_vs_off", Obs_json.Float (sps_on /. sps));
+            ] );
       ] )
 
 let sweep ~seeds ~domains:requested =

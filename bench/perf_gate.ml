@@ -1,13 +1,22 @@
 (* The CI perf-regression gate.
 
    Reads the engine throughput that `bench/perf.exe` just wrote to
-   BENCH_sim_perf.json and compares its `engine.vs_baseline` against the
-   committed reference (bench/perf_reference.json).  Exits 1 when the
-   measured value falls below --min-ratio (default 0.9) of the
-   reference, so a >10% engine slowdown fails the pipeline instead of
-   silently shipping.
+   BENCH_sim_perf.json and compares it against the committed reference
+   (bench/perf_reference.json) on TWO estimators of the same quantity:
+   `engine.vs_baseline` (absolute best-of-N steps/sec over the pinned
+   pre-overhaul baseline) and `engine.vs_calib` (the same steps/sec
+   normalized by an in-process pure-compute calibration loop, which
+   cancels host speed).  A check fails only when BOTH estimators fall
+   below their floor: a real engine regression slows both, while host
+   noise — a throttled or shared core slows the absolute number but not
+   the normalized one; an unlucky calibration slice slows the
+   normalized number but not the absolute one — rarely sinks the two
+   together.  Exits 1 when the throughput ratio check (--min-ratio,
+   default 0.9) or the dormant-observability check
+   (--max-spans-overhead, default 0.03; the engine row is measured with
+   spans disabled) fails on both estimators.
 
-   --inject-slowdown halves the measured value before the comparison;
+   --inject-slowdown halves both measured values before the comparison;
    CI runs it once per pipeline to prove the gate actually trips
    (a gate that cannot fail gates nothing). *)
 
@@ -34,47 +43,86 @@ let number = function
   | Some (Obs_json.Int n) -> Some (float_of_int n)
   | _ -> None
 
-let vs_baseline path =
+let engine_field path field =
   let doc = json_of_file path in
   match Obs_json.member "engine" doc with
   | None -> die "%s: no \"engine\" object" path
   | Some engine -> (
-      match number (Obs_json.member "vs_baseline" engine) with
+      match number (Obs_json.member field engine) with
       | Some f when f > 0. -> f
-      | Some _ -> die "%s: engine.vs_baseline must be positive" path
-      | None -> die "%s: engine.vs_baseline missing" path)
+      | Some _ -> die "%s: engine.%s must be positive" path field
+      | None -> die "%s: engine.%s missing" path field)
 
 let () =
   let perf = ref "BENCH_sim_perf.json" in
   let reference = ref "bench/perf_reference.json" in
   let min_ratio = ref 0.9 in
+  let max_spans_overhead = ref 0.03 in
   let inject = ref false in
   let spec =
     [
       ("--perf", Arg.Set_string perf, "FILE measured perf json (default BENCH_sim_perf.json)");
       ("--reference", Arg.Set_string reference, "FILE committed reference json");
       ("--min-ratio", Arg.Set_float min_ratio, "R fail below R x reference (default 0.9)");
+      ( "--max-spans-overhead",
+        Arg.Set_float max_spans_overhead,
+        "F fail when the spans-disabled run is more than F below the \
+         reference (default 0.03)" );
       ("--inject-slowdown", Arg.Set inject, " halve the measured value (gate selftest)");
     ]
   in
   Arg.parse spec
     (fun a -> die "unexpected argument %S" a)
-    "perf_gate [--perf FILE] [--reference FILE] [--min-ratio R] [--inject-slowdown]";
-  let measured = vs_baseline !perf in
-  let measured = if !inject then measured /. 2. else measured in
-  let reference_v = vs_baseline !reference in
-  let ratio = measured /. reference_v in
-  Printf.printf
-    "perf-gate: measured engine.vs_baseline=%.3f  reference=%.3f  \
-     ratio=%.3f  (min %.2f)%s\n"
-    measured reference_v ratio !min_ratio
-    (if !inject then "  [injected 2x slowdown]" else "");
-  if ratio < !min_ratio then begin
-    Printf.printf
-      "perf-gate: FAIL: engine throughput is below %.0f%% of the committed \
-       reference (bench/perf_reference.json); if the slowdown is intentional, \
-       regenerate the reference with `make perf-reference`\n"
-      (100. *. !min_ratio);
-    exit 1
-  end
+    "perf_gate [--perf FILE] [--reference FILE] [--min-ratio R] \
+     [--max-spans-overhead F] [--inject-slowdown]";
+  let estimators =
+    List.map
+      (fun field ->
+        let m = engine_field !perf field in
+        let m = if !inject then m /. 2. else m in
+        (field, m, engine_field !reference field))
+      [ "vs_baseline"; "vs_calib" ]
+  in
+  (* A check fails only when it fails on EVERY estimator: regressions
+     move both, host noise moves them in opposite directions. *)
+  let both_below floor_of label fail_msg =
+    let bad =
+      List.for_all
+        (fun (field, m, r) ->
+          let floor = floor_of r in
+          Printf.printf "perf-gate: %s: engine.%s measured=%.5f  floor=%.5f%s\n"
+            label field m floor
+            (if !inject then "  [injected 2x slowdown]" else "");
+          m < floor)
+        estimators
+    in
+    if bad then Printf.printf "perf-gate: FAIL: %s\n" fail_msg;
+    bad
+  in
+  let ratio_failed =
+    both_below
+      (fun r -> !min_ratio *. r)
+      "throughput"
+      (Printf.sprintf
+         "engine throughput is below %.0f%% of the committed reference on \
+          every estimator (bench/perf_reference.json); if the slowdown is \
+          intentional, regenerate the reference with `make perf-reference`"
+         (100. *. !min_ratio))
+  in
+  (* The engine row is measured with spans DISABLED, so this is the
+     "observability you are not using" tax: the span layer's dormant
+     checks must stay within --max-spans-overhead of the pre-span
+     reference.  (The rounded-down reference already absorbs runner
+     jitter; see bench/perf_reference.json.) *)
+  let spans_failed =
+    both_below
+      (fun r -> (1. -. !max_spans_overhead) *. r)
+      "spans-disabled overhead"
+      (Printf.sprintf
+         "the spans-disabled engine is more than %.0f%% below the pre-span \
+          reference on every estimator; the dormant observability hooks are \
+          not free"
+         (100. *. !max_spans_overhead))
+  in
+  if ratio_failed || spans_failed then exit 1
   else Printf.printf "perf-gate: OK\n"

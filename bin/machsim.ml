@@ -5,7 +5,9 @@
      explore   -- run a scenario across many schedule seeds, tally outcomes
      trace     -- run a scenario with event tracing and dump the trace
                   (or export it as Chrome trace-event JSON with --out)
-     profile   -- run a scenario and print the lock contention profile *)
+     profile   -- run a scenario and print the lock contention profile
+     report    -- run a scenario and print the causal report: top
+                  blockers, critical-path attribution, flight recorder *)
 
 module Engine = Mach_sim.Sim_engine
 module Config = Mach_sim.Sim_config
@@ -14,6 +16,8 @@ module Trace = Mach_sim.Sim_trace
 module Obs_json = Mach_obs.Obs_json
 module Obs_metrics = Mach_obs.Obs_metrics
 module Obs_profile = Mach_obs.Obs_profile
+module Obs_span = Mach_obs.Obs_span
+module Obs_cp = Mach_obs.Obs_critical_path
 module Scenarios = Mach_kernel.Scenarios
 module Kernel = Mach_kernel.Kernel
 module Ksync = Mach_ksync.Ksync
@@ -131,6 +135,29 @@ let scenarios : (string * (string * (unit -> unit))) list =
         fun () ->
           Scenarios.object_ops_workload Scenarios.Master_funnel ~objects:16
             ~workers:(Engine.cpu_count ()) ~ops_per_worker:30 ) );
+    ( "contention",
+      ( "every cpu hammers one ttas lock (the E1/E15 workload shape)",
+        fun () ->
+          let lock =
+            Ksync.Slock.make ~name:"contended" ~protocol:Mach_core.Spin.Ttas
+              ()
+          in
+          let data = Array.init 4 (fun _ -> Engine.Cell.make ~name:"d" 0) in
+          let ts =
+            List.init
+              (Engine.cpu_count ())
+              (fun _ ->
+                Engine.spawn (fun () ->
+                    for _ = 1 to 10 do
+                      Ksync.Slock.lock lock;
+                      Array.iter
+                        (fun d -> ignore (Engine.Cell.fetch_and_add d 1))
+                        data;
+                      Engine.cycles 20;
+                      Ksync.Slock.unlock lock
+                    done))
+          in
+          List.iter Engine.join ts ) );
     ( "interrupt-deadlock",
       ( "the section 7 three-processor barrier deadlock (buggy variant)",
         Scenarios.interrupt_barrier_scenario ~disciplined:false ) );
@@ -380,6 +407,16 @@ let trace_cmd =
           Format.printf "(%d of %d events shown)@." (List.length tail) total;
           0
     in
+    (* Loss accounting, split span-vs-instant and overflow-vs-disabled:
+       "the ring wrapped" and "tracing was off" are different facts, and
+       span records matter to the critical-path pass specifically. *)
+    (match Engine.trace_drop_stats () with
+    | Some d ->
+        Format.printf
+          "drops: overflow spans=%d events=%d; disabled spans=%d events=%d@."
+          d.Trace.dropped_spans d.Trace.dropped_events d.Trace.disabled_spans
+          d.Trace.disabled_events
+    | None -> ());
     (match outcome with
     | Engine.Completed stats -> Format.printf "completed: %a@." Engine.pp_stats stats
     | Engine.Deadlocked (_, r) -> Format.printf "deadlocked:@.%s@." r
@@ -423,10 +460,17 @@ let profile_cmd =
               [
                 ("scenario", Obs_json.String scenario);
                 ("profile", Obs_profile.to_json ());
+                ( "spans",
+                  match Obs_span.last () with
+                  | Some v -> Obs_span.to_json v
+                  | None -> Obs_json.Null );
                 ("metrics", Obs_metrics.to_json ());
               ]))
     else begin
       Format.printf "%a@." (fun ppf () -> Obs_profile.pp_report ~top_n:top ppf ()) ();
+      (match Obs_span.last () with
+      | Some v -> Format.printf "%a@." (Obs_span.pp_blockers ~top_n:top) v
+      | None -> ());
       Format.printf "metrics:@.%a" Obs_metrics.pp ()
     end;
     match outcome with
@@ -450,6 +494,102 @@ let profile_cmd =
          "Run a scenario and print the lock contention profile (top classes \
           by wait cycles, first-attempt rates, waits-for edges) and the \
           metrics registry.")
+    term
+
+let report_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top"; "t" ] ~docv:"N" ~doc:"Sites / edges / classes to show.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the causal report as JSON instead of text.")
+  in
+  let run scenario cpus seed policy top json =
+    Obs_profile.reset ();
+    (* Tracing feeds the critical-path pass; track_waits feeds the
+       waits-for graph so a deadlocked run still prints a diagnosis
+       (with the flight-recorder dump the engine appends to it). *)
+    let cfg =
+      {
+        Config.default with
+        Config.cpus;
+        seed;
+        policy;
+        trace = true;
+        track_waits = true;
+      }
+    in
+    let outcome = Engine.run_outcome ~cfg (lookup_scenario scenario) in
+    let view =
+      match Obs_span.last () with
+      | Some v -> v
+      | None -> Obs_span.empty_view
+    in
+    let makespan =
+      match Engine.last_stats () with
+      | Some s -> s.Engine.makespan
+      | None -> 0
+    in
+    let evs =
+      List.map
+        (fun (e : Trace.event) ->
+          { Obs_cp.cp_clock = e.Trace.clock; cp_ev = e.Trace.ev })
+        (Engine.trace_events ())
+    in
+    let cp = Obs_cp.compute ~makespan evs in
+    if json then
+      print_endline
+        (Obs_json.to_string
+           (Obs_json.Obj
+              [
+                ("scenario", Obs_json.String scenario);
+                ("spans", Obs_span.to_json view);
+                ("critical_path", Obs_cp.to_json cp);
+                ("profile", Obs_profile.to_json ());
+              ]))
+    else begin
+      Format.printf "%a@." (Obs_span.pp_blockers ~top_n:top) view;
+      Format.printf "%a@." Obs_cp.pp cp;
+      (match Obs_cp.dominant cp with
+      | Some a ->
+          Format.printf "dominant: %s  (%.1f%% of the critical path)@."
+            a.Obs_cp.cls
+            (100. *. a.Obs_cp.fraction)
+      | None -> Format.printf "dominant: none (no attributable waits)@.");
+      Format.printf "%a" Obs_span.pp_flight view
+    end;
+    match outcome with
+    | Engine.Completed stats ->
+        Format.printf "completed: %a@." Engine.pp_stats stats;
+        0
+    | Engine.Deadlocked (_, r) ->
+        (* The report already carries the flight-recorder dump the engine
+           appended when it diagnosed the hang. *)
+        Format.printf "deadlocked:@.%s@." r;
+        1
+    | Engine.Panicked m ->
+        Format.printf "panicked: %s@." m;
+        1
+    | Engine.Hit_step_limit ->
+        Format.printf "step limit@.";
+        1
+  in
+  let term =
+    Term.(
+      const run $ scenario_arg $ cpus_arg $ seed_arg $ policy_arg $ top_arg
+      $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run a scenario and print the causal observability report: the \
+          top-blockers table (which sites stall whom, and what the holder \
+          was doing), the critical-path attribution over the trace (which \
+          lock class the makespan was spent waiting on), and the \
+          flight-recorder tail of recent spans per cpu.")
     term
 
 let list_cmd =
@@ -743,6 +883,7 @@ let () =
             explore_cmd;
             trace_cmd;
             profile_cmd;
+            report_cmd;
             chaos_cmd;
             mc_cmd;
             list_cmd;

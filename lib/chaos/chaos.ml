@@ -34,6 +34,11 @@ let chaos_tweak ~faults ~max_steps ~watchdog cfg =
     cfg with
     Sim_config.faults;
     track_waits = true;
+    (* The flight recorder rides on spans: force them on regardless of
+       the base config so every chaos-detected hang carries the recent
+       per-cpu span tail in its report (spans never perturb the
+       schedule, so injection results are unaffected). *)
+    spans = true;
     max_steps = Some max_steps;
     watchdog_steps = watchdog;
   }

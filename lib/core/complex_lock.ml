@@ -3,6 +3,7 @@ module Obs_metrics = Mach_obs.Obs_metrics
 module Obs_profile = Mach_obs.Obs_profile
 module Obs_trace = Mach_obs.Obs_trace
 module Obs_event = Mach_obs.Obs_event
+module Obs_span = Mach_obs.Obs_span
 
 module Make
     (M : Machine_intf.MACHINE)
@@ -71,8 +72,10 @@ struct
     t
 
   (* [waits] is the number of [lock_wait] rounds the acquisition took;
-     contended iff at least one. *)
-  let obs_acquire t ~waits ~wait_cycles =
+     contended iff at least one.  [blocker] is the writer observed when
+     the wait began, for blocked-by attribution (reader crowds have no
+     single holder to blame, so only writer holds attribute). *)
+  let obs_acquire t ?blocker ~waits ~wait_cycles () =
     let cpu = M.current_cpu () in
     Obs_metrics.incr ~cpu m_acquisitions;
     if waits > 0 then Obs_metrics.incr ~cpu m_contentions;
@@ -80,6 +83,14 @@ struct
     Obs_profile.note_acquire
       ~tid:(M.thread_id (M.self ()))
       ~name:t.lname ~contended:(waits > 0) ~wait_cycles;
+    if Obs_span.enabled () then begin
+      (match blocker with
+      | Some h when waits > 0 ->
+          Obs_span.blocked ~kind:Obs_span.Lock ~name:t.lname
+            ~holder_tid:(M.thread_id h) ~wait_cycles
+      | _ -> ());
+      Obs_span.enter Obs_span.Lock t.lname
+    end;
     if Obs_trace.enabled () then
       Obs_trace.emit
         (Obs_event.Lock_acquire { lock = t.lname; spins = waits; wait_cycles })
@@ -92,6 +103,7 @@ struct
     Obs_profile.note_release
       ~tid:(M.thread_id (M.self ()))
       ~name:t.lname ~held_cycles;
+    Obs_span.exit Obs_span.Lock t.lname;
     if Obs_trace.enabled () then
       Obs_trace.emit (Obs_event.Lock_release { lock = t.lname; held_cycles })
 
@@ -180,6 +192,7 @@ struct
               t.lname)
        end);
       let t0 = M.now_cycles () in
+      let blocker = t.writer in
       let waits = ref 0 in
       (* Claim the writer slot: wait out other writers and upgraders. *)
       while t.want_write || t.want_upgrade do
@@ -196,8 +209,9 @@ struct
       t.writer <- Some (M.self ());
       t.write_acquired_at <- M.now_cycles ();
       Lock_stats.record_write t.stats;
-      obs_acquire t ~waits:!waits
-        ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0);
+      obs_acquire t ?blocker ~waits:!waits
+        ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0)
+        ();
       bump_spin_held t 1;
       wf_hold t;
       Slock.unlock t.interlock
@@ -219,6 +233,7 @@ struct
         else t.writer <> None
       in
       let t0 = M.now_cycles () in
+      let blocker = t.writer in
       let waits = ref 0 in
       while excluded () do
         incr waits;
@@ -226,8 +241,9 @@ struct
       done;
       t.read_count <- t.read_count + 1;
       Lock_stats.record_read t.stats;
-      obs_acquire t ~waits:!waits
-        ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0);
+      obs_acquire t ?blocker ~waits:!waits
+        ~wait_cycles:(if !waits > 0 then max 0 (M.now_cycles () - t0) else 0)
+        ();
       bump_spin_held t 1;
       wf_hold t;
       Slock.unlock t.interlock
@@ -347,7 +363,7 @@ struct
       else begin
         t.read_count <- t.read_count + 1;
         Lock_stats.record_read t.stats;
-        obs_acquire t ~waits:0 ~wait_cycles:0;
+        obs_acquire t ~waits:0 ~wait_cycles:0 ();
         bump_spin_held t 1;
         wf_hold t;
         true
@@ -371,7 +387,7 @@ struct
         t.writer <- Some (M.self ());
         t.write_acquired_at <- M.now_cycles ();
         Lock_stats.record_write t.stats;
-        obs_acquire t ~waits:0 ~wait_cycles:0;
+        obs_acquire t ~waits:0 ~wait_cycles:0 ();
         bump_spin_held t 1;
         wf_hold t;
         true

@@ -2,6 +2,7 @@ module Tls_key = Machine_intf.Tls_key
 module Obs_metrics = Mach_obs.Obs_metrics
 module Obs_trace = Mach_obs.Obs_trace
 module Obs_event = Mach_obs.Obs_event
+module Obs_span = Mach_obs.Obs_span
 
 type wait_result = Awakened | Cleared | Interrupted | Restart
 
@@ -153,6 +154,11 @@ struct
         ~tid:(M.thread_id (M.self ()))
         ~tname:(M.thread_name (M.self ()))
         (Waits_for.Event { id = ev });
+    (* The wait->wake span: closed at the wake in [thread_block] (or at
+       [cancel_assert]) with [exit_kind] — the waiter's event slot is
+       cleared by then, and a thread has at most one outstanding wait. *)
+    if Obs_span.enabled () then
+      Obs_span.enter Obs_span.Event ("evt" ^ string_of_int ev);
     if Obs_trace.enabled () then
       Obs_trace.emit (Obs_event.Event_wait { event = ev });
     set_in_assert_wait true
@@ -193,6 +199,7 @@ struct
             ~cpu:(M.current_cpu ())
             h_wait
             (max 0 (M.now_cycles () - w.wait_started));
+          Obs_span.exit_kind Obs_span.Event;
           r
       | Waiting ->
           M.park ();
@@ -229,7 +236,8 @@ struct
           (match w.state with
           | Woken _ -> w.state <- Running
           | Running | Waiting -> ());
-          set_in_assert_wait false
+          set_in_assert_wait false;
+          Obs_span.exit_kind Obs_span.Event
       | Some ev ->
           let b = bucket_of ev in
           Slock.lock b.block;
@@ -239,7 +247,8 @@ struct
             w.state <- Running;
             wf_wait_done w ev;
             Slock.unlock b.block;
-            set_in_assert_wait false
+            set_in_assert_wait false;
+            Obs_span.exit_kind Obs_span.Event
           end
           else begin
             Slock.unlock b.block;

@@ -3,6 +3,7 @@ module Obs_metrics = Mach_obs.Obs_metrics
 module Obs_profile = Mach_obs.Obs_profile
 module Obs_trace = Mach_obs.Obs_trace
 module Obs_event = Mach_obs.Obs_event
+module Obs_span = Mach_obs.Obs_span
 
 module Make (M : Machine_intf.MACHINE) = struct
   module S = Spin.Make (M)
@@ -29,6 +30,12 @@ module Make (M : Machine_intf.MACHINE) = struct
     lname : string;
     stats : Lock_stats.t;
     mutable holder : M.thread option;
+    (* Last thread to acquire, NOT cleared on release: a contended
+       acquisition that began while the lock was momentarily free (the
+       holder released while we were between the snapshot and the first
+       test) still attributes its wait to the thread it actually spun
+       behind. *)
+    mutable last_holder : M.thread option;
     mutable acquired_spl : Spl.t option; (* learned or pinned level *)
     mutable acquired_at : int; (* cycle clock at acquisition *)
   }
@@ -57,6 +64,7 @@ module Make (M : Machine_intf.MACHINE) = struct
       lname;
       stats = Lock_stats.make ();
       holder = None;
+      last_holder = None;
       acquired_spl = spl;
       acquired_at = 0;
     }
@@ -83,7 +91,10 @@ module Make (M : Machine_intf.MACHINE) = struct
                 %s (same-spl rule, paper section 7)"
                t.lname (Spl.to_string spl) (Spl.to_string expected))
 
-  let obs_acquire t ~spins ~wait_cycles =
+  (* [blocker] is the holder observed when the wait began: contended
+     acquisitions attribute their wait to that holder's acquire site
+     (the span enclosing its hold) in the Obs_span blocked-by graph. *)
+  let obs_acquire t ?blocker ~spins ~wait_cycles () =
     let cpu = M.current_cpu () in
     Obs_metrics.incr ~cpu m_acquisitions;
     if spins > 0 then Obs_metrics.incr ~cpu m_contentions;
@@ -91,6 +102,14 @@ module Make (M : Machine_intf.MACHINE) = struct
     Obs_profile.note_acquire
       ~tid:(M.thread_id (M.self ()))
       ~name:t.lname ~contended:(spins > 0) ~wait_cycles;
+    if Obs_span.enabled () then begin
+      (match blocker with
+      | Some h when spins > 0 ->
+          Obs_span.blocked ~kind:Obs_span.Lock ~name:t.lname
+            ~holder_tid:(M.thread_id h) ~wait_cycles
+      | _ -> ());
+      Obs_span.enter Obs_span.Lock t.lname
+    end;
     if Obs_trace.enabled () then
       Obs_trace.emit
         (Obs_event.Lock_acquire { lock = t.lname; spins; wait_cycles })
@@ -100,6 +119,7 @@ module Make (M : Machine_intf.MACHINE) = struct
     Obs_profile.note_release
       ~tid:(M.thread_id (M.self ()))
       ~name:t.lname ~held_cycles;
+    Obs_span.exit Obs_span.Lock t.lname;
     if Obs_trace.enabled () then
       Obs_trace.emit (Obs_event.Lock_release { lock = t.lname; held_cycles })
 
@@ -118,6 +138,7 @@ module Make (M : Machine_intf.MACHINE) = struct
     if checking () then begin
       check_spl t;
       t.holder <- Some (M.self ());
+      t.last_holder <- t.holder;
       bump_held 1
     end
 
@@ -154,6 +175,7 @@ module Make (M : Machine_intf.MACHINE) = struct
                   (M.thread_name h))
          | _ -> ());
       let t0 = M.now_cycles () in
+      let blocker = t.holder in
       let tracking = Waits_for.tracking () in
       if tracking then
         Waits_for.note_wait
@@ -171,7 +193,20 @@ module Make (M : Machine_intf.MACHINE) = struct
         Waits_for.note_wait_done ~tid:(M.thread_id (M.self ())) (wf_res t);
       let wait_cycles = if spins > 0 then max 0 (M.now_cycles () - t0) else 0 in
       Lock_stats.record_acquire t.stats ~contended:(spins > 0) ~spins;
-      obs_acquire t ~spins ~wait_cycles;
+      (* A contended wait whose entry snapshot missed the holder (it
+         released before our first test) still spun behind SOMEBODY:
+         [last_holder] is whoever held the lock during the final wait
+         segment — read before [note_acquired] overwrites it with us. *)
+      let blocker =
+        match blocker with
+        | Some _ -> blocker
+        | None when spins > 0 -> (
+            match t.last_holder with
+            | Some h when not (M.equal_thread h (M.self ())) -> Some h
+            | _ -> None)
+        | None -> None
+      in
+      obs_acquire t ?blocker ~spins ~wait_cycles ();
       note_acquired t
     end
 
@@ -196,7 +231,7 @@ module Make (M : Machine_intf.MACHINE) = struct
       Lock_stats.record_try t.stats ~success:ok;
       if ok then begin
         Lock_stats.record_acquire t.stats ~contended:false ~spins:0;
-        obs_acquire t ~spins:0 ~wait_cycles:0;
+        obs_acquire t ~spins:0 ~wait_cycles:0 ();
         note_acquired t
       end;
       ok

@@ -1,5 +1,6 @@
 module K = Mach_ksync.Ksync
 module Kobj = Mach_ksync.Kobj
+module Obs_span = Mach_obs.Obs_span
 
 type t = {
   pobj : Kobj.t;
@@ -99,7 +100,12 @@ let enqueue_locked t msg =
   t.queue <- t.queue @ [ { qm = msg; dest = t } ];
   ignore (K.Ev.thread_wakeup t.msg_event)
 
+(* The send and receive spans cover the whole operation including
+   queue-full / queue-empty sleeps, so span duration is the user-visible
+   IPC latency (what the RPC scorecard measures), not just lock time. *)
 let send t msg =
+  let spans = Obs_span.enabled () in
+  if spans then Obs_span.enter Obs_span.Ipc ("send:" ^ name t);
   let rec attempt () =
     Kobj.lock t.pobj;
     if not (Kobj.is_active t.pobj) then begin
@@ -117,7 +123,9 @@ let send t msg =
       Ok ()
     end
   in
-  attempt ()
+  let r = attempt () in
+  if spans then Obs_span.exit Obs_span.Ipc ("send:" ^ name t);
+  r
 
 let try_send t msg =
   Kobj.lock t.pobj;
@@ -141,6 +149,8 @@ let dequeue_locked t =
       Some q
 
 let receive t =
+  let spans = Obs_span.enabled () in
+  if spans then Obs_span.enter Obs_span.Ipc ("recv:" ^ name t);
   let rec attempt () =
     Kobj.lock t.pobj;
     if not (Kobj.is_active t.pobj) then begin
@@ -159,7 +169,9 @@ let receive t =
           ignore (K.Ev.thread_sleep t.msg_event (Kobj.object_lock t.pobj));
           attempt ()
   in
-  attempt ()
+  let r = attempt () in
+  if spans then Obs_span.exit Obs_span.Ipc ("recv:" ^ name t);
+  r
 
 let try_receive t =
   Kobj.lock t.pobj;

@@ -19,12 +19,13 @@
    token that [read_unlock] takes back; [with_read] hides the plumbing. *)
 
 module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_span = Mach_obs.Obs_span
 
 module Make (M : Mach_core.Machine_intf.MACHINE) = struct
   (* Cycles a writer spends sweeping reader slots, across all brlocks. *)
   let h_sweep = Obs_metrics.histogram "lock.brlock.sweep_spins"
 
-  type t = { readers : M.Cell.t array; writer : M.Cell.t }
+  type t = { bname : string; readers : M.Cell.t array; writer : M.Cell.t }
 
   let proto_name = "brlock"
 
@@ -36,6 +37,7 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
 
   let make ~name =
     {
+      bname = name;
       readers =
         Array.init n_slots (fun i ->
             M.Cell.make ~name:(Printf.sprintf "%s.r%d" name i) 0);
@@ -61,9 +63,17 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
         go ()
       end
     in
-    go ()
+    let slot = go () in
+    (* The brlock sits outside Simple_lock's instrumentation, so it opens
+       and closes its own hold spans (read and write sides as distinct
+       sites: their costs differ by design). *)
+    if Obs_span.enabled () then
+      Obs_span.enter Obs_span.Lock (t.bname ^ ".read");
+    slot
 
-  let read_unlock t ~slot = ignore (M.Cell.fetch_and_add t.readers.(slot) (-1))
+  let read_unlock t ~slot =
+    Obs_span.exit Obs_span.Lock (t.bname ^ ".read");
+    ignore (M.Cell.fetch_and_add t.readers.(slot) (-1))
 
   let write_lock t =
     (* Take the writer flag (writers exclude each other on it), then
@@ -86,9 +96,13 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
     done;
     spins := !spins + !sweep;
     Obs_metrics.observe ~cpu:(M.current_cpu ()) h_sweep !sweep;
+    if Obs_span.enabled () then
+      Obs_span.enter Obs_span.Lock (t.bname ^ ".write");
     !spins
 
-  let write_unlock t = M.Cell.set t.writer 0
+  let write_unlock t =
+    Obs_span.exit Obs_span.Lock (t.bname ^ ".write");
+    M.Cell.set t.writer 0
 
   let with_read t f =
     let slot = read_lock t in

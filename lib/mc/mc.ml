@@ -477,6 +477,12 @@ let make_cfg ~cpus ~max_steps hooks =
     preempt_on_cell_ops = true;
     max_steps = Some max_steps;
     track_waits = true;
+    (* Spans stay on through the whole search: they consume no engine
+       randomness and make no scheduling choices, so DPOR's replayed
+       prefixes stay bit-identical, and the counterexample report the
+       checker returns carries the flight-recorder tail of the failing
+       execution. *)
+    spans = true;
     mc = Some hooks;
   }
 

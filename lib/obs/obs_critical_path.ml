@@ -1,0 +1,124 @@
+(* Offline critical-path attribution over a recorded trace.
+
+   Which lock (class) actually bounds the makespan?  Per-class totals
+   cannot say: wait cycles accumulated in parallel with useful work cost
+   nothing, and summing them happily exceeds the runtime.  This pass
+   walks the trace *backwards* from the end of the run, following the
+   wake -> run -> release causal chain one blocking interval at a time:
+
+     - the last thing that happened before the makespan's end is, by
+       construction, on the critical path;
+     - a blocking interval [c - dur, c] on the path means whatever
+       enabled it (the holder's release, the signaller's wake) ended at
+       its start, so the cursor jumps to [c - dur] and the walk
+       continues from there;
+     - events later than the cursor were concurrent with an interval
+       already attributed and are skipped.
+
+   Each attribution moves the cursor down by at least the cycles it
+   claims, so the attributed totals are disjoint and sum to at most the
+   makespan — the "fractions sum to <= 1.0" invariant the tests pin.
+   The walk is an approximation (between blocking intervals it cannot
+   see which cpu's computation was critical; that remainder is reported
+   as the residual), but the *ranking* of lock classes it produces is
+   exactly the per-class share of blocked time on one maximal causal
+   chain, which is what "which lock should we split first?" needs. *)
+
+type ev = { cp_clock : int; cp_ev : Obs_event.t }
+
+type attribution = { cls : string; cycles : int; fraction : float }
+
+type t = {
+  makespan : int;
+  attributed : attribution list; (* largest share first *)
+  residual : float; (* 1.0 - sum of fractions: compute + untraced waits *)
+}
+
+(* A candidate blocking interval: [clock - dur, clock], charged to a
+   class.  Lock waits are charged to the lock class (matching
+   Obs_profile); non-lock span closes to "kind:class". *)
+let candidate { cp_clock; cp_ev } =
+  match cp_ev with
+  | Obs_event.Lock_acquire { lock; wait_cycles; _ } when wait_cycles > 0 ->
+      Some (cp_clock, Obs_profile.class_of_name lock, wait_cycles)
+  | Obs_event.Span_close { kind; site; dur } when dur > 0 && kind <> "lock" ->
+      (* Strip the "kind:" prefix the span layer bakes into the site. *)
+      let name =
+        match String.index_opt site ':' with
+        | Some i -> String.sub site (i + 1) (String.length site - i - 1)
+        | None -> site
+      in
+      Some (cp_clock, kind ^ ":" ^ Obs_profile.class_of_name name, dur)
+  | _ -> None
+
+let compute ~makespan evs =
+  if makespan <= 0 then { makespan; attributed = []; residual = 1.0 }
+  else begin
+    let cands =
+      List.filter_map candidate evs
+      |> List.sort (fun (c1, _, _) (c2, _, _) -> compare c2 c1)
+    in
+    let totals : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let cursor = ref makespan in
+    List.iter
+      (fun (clock, cls, dur) ->
+        if clock <= !cursor && !cursor > 0 then begin
+          (* The interval cannot extend below clock 0; clip the claim. *)
+          let take = min dur clock in
+          if take > 0 then begin
+            Hashtbl.replace totals cls
+              (take + Option.value ~default:0 (Hashtbl.find_opt totals cls));
+            cursor := clock - take
+          end
+        end)
+      cands;
+    let attributed =
+      Hashtbl.fold
+        (fun cls cycles acc ->
+          { cls; cycles; fraction = float_of_int cycles /. float_of_int makespan }
+          :: acc)
+        totals []
+      |> List.sort (fun a b ->
+             match compare b.cycles a.cycles with
+             | 0 -> String.compare a.cls b.cls
+             | c -> c)
+    in
+    let total_frac =
+      List.fold_left (fun acc a -> acc +. a.fraction) 0.0 attributed
+    in
+    { makespan; attributed; residual = 1.0 -. total_frac }
+  end
+
+let dominant t = match t.attributed with [] -> None | a :: _ -> Some a
+
+let pp ppf t =
+  Format.fprintf ppf "critical path over makespan %d cycles:@." t.makespan;
+  if t.attributed = [] then
+    Format.fprintf ppf "  (no blocking intervals on the critical path)@."
+  else
+    List.iter
+      (fun a ->
+        Format.fprintf ppf "  %-28s %10d cycles  %5.1f%%@." a.cls a.cycles
+          (100.0 *. a.fraction))
+      t.attributed;
+  Format.fprintf ppf "  %-28s %21s %5.1f%%@." "(compute / untraced)" ""
+    (100.0 *. t.residual)
+
+let to_json t =
+  let open Obs_json in
+  Obj
+    [
+      ("makespan", Int t.makespan);
+      ( "attributed",
+        List
+          (List.map
+             (fun a ->
+               Obj
+                 [
+                   ("class", String a.cls);
+                   ("cycles", Int a.cycles);
+                   ("fraction", Float a.fraction);
+                 ])
+             t.attributed) );
+      ("residual", Float t.residual);
+    ]

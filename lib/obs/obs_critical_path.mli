@@ -1,0 +1,35 @@
+(** Offline critical-path attribution over a recorded trace.
+
+    Walks the trace backwards from the end of the run along
+    wake -> run -> release causal edges, attributing each blocking
+    interval (contended lock wait, event/ipc/vm span) on the path to its
+    lock class or site.  Attributed intervals are disjoint by
+    construction, so the fractions always sum to at most 1.0 of the
+    makespan; the remainder (compute and untraced waits) is the
+    residual. *)
+
+type ev = { cp_clock : int; cp_ev : Obs_event.t }
+(** One trace record: the simulated clock at which the event fired. *)
+
+type attribution = {
+  cls : string;  (** lock class, or "kind:class" for non-lock spans *)
+  cycles : int;  (** critical-path cycles charged to the class *)
+  fraction : float;  (** cycles / makespan *)
+}
+
+type t = {
+  makespan : int;
+  attributed : attribution list;  (** largest share first *)
+  residual : float;  (** 1.0 - sum of fractions *)
+}
+
+val compute : makespan:int -> ev list -> t
+(** [compute ~makespan evs] over the run's trace (any order; sorted
+    internally).  A non-positive makespan yields an empty attribution
+    with residual 1.0. *)
+
+val dominant : t -> attribution option
+(** The class with the largest critical-path share, if any. *)
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Obs_json.t

@@ -21,6 +21,8 @@ type t =
   (* vm events *)
   | Tlb_shootdown_start of { initiator : int; participants : int; lazies : int }
   | Tlb_shootdown_done of { participants : int; cycles : int }
+  (* causal spans (Obs_span): emitted when a span closes *)
+  | Span_close of { kind : string; site : string; dur : int }
   (* chaos / deadlock-detection events *)
   | Chaos_inject of { kind : string; victim : string }
   | Deadlock_note of { line : string }
@@ -47,6 +49,7 @@ let name = function
   | Refcount_drop _ -> "Refcount_drop"
   | Tlb_shootdown_start _ -> "Tlb_shootdown_start"
   | Tlb_shootdown_done _ -> "Tlb_shootdown_done"
+  | Span_close _ -> "Span_close"
   | Chaos_inject _ -> "Chaos_inject"
   | Deadlock_note _ -> "Deadlock_note"
   | Raw { tag; _ } -> tag
@@ -73,6 +76,7 @@ let tag = function
   | Refcount_drop _ -> "ref-drop"
   | Tlb_shootdown_start _ -> "shoot-start"
   | Tlb_shootdown_done _ -> "shoot-done"
+  | Span_close _ -> "span"
   | Chaos_inject _ -> "chaos"
   | Deadlock_note _ -> "deadlock"
   | Raw { tag; _ } -> tag
@@ -104,6 +108,8 @@ let detail = function
         participants lazies
   | Tlb_shootdown_done { participants; cycles } ->
       Printf.sprintf "%d cpus released after %d cycles" participants cycles
+  | Span_close { kind; site; dur } ->
+      Printf.sprintf "%s %s dur=%d" kind site dur
   | Chaos_inject { kind; victim } -> Printf.sprintf "%s -> %s" kind victim
   | Deadlock_note { line } -> line
   | Raw { detail; _ } -> detail
@@ -150,10 +156,16 @@ let args ev =
       ]
   | Tlb_shootdown_done { participants; cycles } ->
       [ ("participants", Int participants); ("cycles", Int cycles) ]
+  | Span_close { kind; site; dur } ->
+      [ ("kind", String kind); ("site", String site); ("dur", Int dur) ]
   | Chaos_inject { kind; victim } ->
       [ ("kind", String kind); ("victim", String victim) ]
   | Deadlock_note { line } -> [ ("line", String line) ]
   | Raw { tag; detail } ->
       [ ("tag", String tag); ("detail", String detail) ]
+
+(* Span records and plain instants are accounted separately in the trace
+   rings (dropped-span vs dropped-event counters). *)
+let is_span = function Span_close _ -> true | _ -> false
 
 let pp ppf ev = Format.fprintf ppf "%-12s %s" (tag ev) (detail ev)

@@ -30,6 +30,10 @@ type t =
   | Refcount_drop of { name : string; count : int }
   | Tlb_shootdown_start of { initiator : int; participants : int; lazies : int }
   | Tlb_shootdown_done of { participants : int; cycles : int }
+  | Span_close of { kind : string; site : string; dur : int }
+      (** an [Obs_span] causal span closed: [kind] is the span kind
+          ("lock", "event", "ipc", "vm"), [site] the acquire-site label,
+          [dur] the span duration in cycles *)
   | Chaos_inject of { kind : string; victim : string }
       (** a fault-injection hook fired ([kind] names the fault class) *)
   | Deadlock_note of { line : string }
@@ -49,5 +53,9 @@ val detail : t -> string
 
 val args : t -> (string * Obs_json.t) list
 (** The structured payload as Chrome trace-event args. *)
+
+val is_span : t -> bool
+(** [true] exactly for [Span_close]: trace rings account span records
+    separately from plain instants when counting drops. *)
 
 val pp : Format.formatter -> t -> unit

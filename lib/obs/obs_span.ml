@@ -1,0 +1,476 @@
+(* Causal span layer: per-thread nested spans, blocked-by attribution and
+   the always-on flight recorder.
+
+   A *span* brackets one causally meaningful interval — a lock hold
+   (acquire -> release), an event wait (assert_wait -> wake), an IPC
+   send/receive, a VM fault — and carries an acquire-site identity (the
+   kind plus the instrumented name).  Spans nest per thread: the stack of
+   open spans of a thread at any instant is what that thread "was doing",
+   which is exactly what blocked-by attribution needs to say about a lock
+   holder.
+
+   State is domain-local (one simulation per domain; parallel seed sweeps
+   must not share), costs one domain-local read plus a boolean when
+   disabled, and deliberately consumes no engine randomness and charges
+   no simulated cycles: a spans-on run is schedule- and stats-identical
+   to a spans-off run (pinned by the determinism tests).
+
+   The engine installs the clock/identity callbacks at run start and
+   latches a frozen [view] at run end, before the [Run_reset] hook wipes
+   the live tables — so post-run reporting ([machsim report], bench E18)
+   reads [last] while in-run post-mortems (the deadlock flight dump) read
+   [current]. *)
+
+type kind = Lock | Event | Ipc | Vm
+
+let kind_name = function
+  | Lock -> "lock"
+  | Event -> "event"
+  | Ipc -> "ipc"
+  | Vm -> "vm"
+
+type ctx = {
+  now : unit -> int;
+  tid : unit -> int;
+  tname : unit -> string;
+  cpu : unit -> int;
+}
+
+type site = {
+  s_label : string;
+  s_kind : kind;
+  mutable s_spans : int; (* closed spans *)
+  mutable s_busy : int; (* total closed duration (hold / service time) *)
+  mutable s_max : int; (* longest single span *)
+  mutable s_blocked : int; (* contended waits against this site *)
+  mutable s_blocked_cycles : int;
+}
+
+type flight_span = {
+  f_label : string;
+  f_tname : string;
+  f_cpu : int;
+  f_t0 : int;
+  f_t1 : int;
+}
+
+type edge = {
+  e_wanted : string;
+  e_holder : string; (* the holder's enclosing span label *)
+  mutable e_count : int;
+  mutable e_cycles : int;
+}
+
+type view = {
+  v_sites : site list; (* sorted by label *)
+  v_edges : edge list; (* heaviest (blocked cycles) first *)
+  v_flight : (int * flight_span list) list; (* per cpu, oldest first *)
+  v_open : int; (* spans still open when the view was taken *)
+}
+
+let empty_view = { v_sites = []; v_edges = []; v_flight = []; v_open = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local state                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [o_tname] is captured at enter so post-mortem dumps can name the
+   thread without its tid: tids come from a globally monotonic counter,
+   so printing them would make otherwise-identical runs' reports differ
+   (the determinism tests compare reports byte-for-byte). *)
+type open_span = {
+  o_label : string;
+  o_kind : kind;
+  o_t0 : int;
+  o_tname : string;
+}
+
+(* Bounded per-cpu ring of recently closed spans (the flight recorder).
+   Sixteen per cpu is enough to reconstruct "what was everyone doing"
+   at a post-mortem without letting a long run grow without bound. *)
+let flight_cap = 16
+
+type flight_ring = {
+  fbuf : flight_span option array;
+  mutable fnext : int;
+}
+
+type state = {
+  mutable on : bool;
+  mutable sctx : ctx option;
+  sites : (string, site) Hashtbl.t;
+  stacks : (int, open_span list) Hashtbl.t; (* tid -> innermost first *)
+  edges : (string * string, edge) Hashtbl.t;
+  mutable flight : flight_ring array; (* index cpu+1; slot 0 = off-cpu *)
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        on = false;
+        sctx = None;
+        sites = Hashtbl.create 64;
+        stacks = Hashtbl.create 64;
+        edges = Hashtbl.create 64;
+        flight = [||];
+      })
+
+let st () = Domain.DLS.get state_key
+
+let last_key : view option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set_enabled b = (st ()).on <- b
+let install c = (st ()).sctx <- c
+let enabled () = let s = st () in s.on && s.sctx <> None
+
+(* Clears the per-run tables only: the enabled gate and callbacks belong
+   to the engine's run lifecycle, not to the [Run_reset] hook (which also
+   fires at run *setup*, after the engine has installed itself). *)
+let reset () =
+  let s = st () in
+  Hashtbl.reset s.sites;
+  Hashtbl.reset s.stacks;
+  Hashtbl.reset s.edges;
+  s.flight <- [||]
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let label kind name = kind_name kind ^ ":" ^ name
+
+let site_of s kind lbl =
+  match Hashtbl.find_opt s.sites lbl with
+  | Some site -> site
+  | None ->
+      let site =
+        {
+          s_label = lbl;
+          s_kind = kind;
+          s_spans = 0;
+          s_busy = 0;
+          s_max = 0;
+          s_blocked = 0;
+          s_blocked_cycles = 0;
+        }
+      in
+      Hashtbl.add s.sites lbl site;
+      site
+
+let ring_of s cpu =
+  let i = if cpu < 0 then 0 else cpu + 1 in
+  let n = Array.length s.flight in
+  if i >= n then begin
+    let bigger =
+      Array.init (i + 1) (fun k ->
+          if k < n then s.flight.(k)
+          else { fbuf = Array.make flight_cap None; fnext = 0 })
+    in
+    s.flight <- bigger
+  end;
+  s.flight.(i)
+
+let push_flight s fs =
+  let r = ring_of s fs.f_cpu in
+  r.fbuf.(r.fnext) <- Some fs;
+  r.fnext <- (r.fnext + 1) mod flight_cap
+
+let enter kind name =
+  let s = st () in
+  match s.sctx with
+  | Some c when s.on ->
+      let tid = c.tid () in
+      let sp =
+        {
+          o_label = label kind name;
+          o_kind = kind;
+          o_t0 = c.now ();
+          o_tname = c.tname ();
+        }
+      in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt s.stacks tid) in
+      Hashtbl.replace s.stacks tid (sp :: cur)
+  | _ -> ()
+
+let rec remove_first p = function
+  | [] -> None
+  | x :: rest ->
+      if p x then Some (x, rest)
+      else (
+        match remove_first p rest with
+        | Some (y, rest') -> Some (y, x :: rest')
+        | None -> None)
+
+let close s (c : ctx) tid sp =
+  let t1 = c.now () in
+  let dur = max 0 (t1 - sp.o_t0) in
+  let site = site_of s sp.o_kind sp.o_label in
+  site.s_spans <- site.s_spans + 1;
+  site.s_busy <- site.s_busy + dur;
+  if dur > site.s_max then site.s_max <- dur;
+  push_flight s
+    {
+      f_label = sp.o_label;
+      f_tname = c.tname ();
+      f_cpu = c.cpu ();
+      f_t0 = sp.o_t0;
+      f_t1 = t1;
+    };
+  ignore tid;
+  if Obs_trace.enabled () then
+    Obs_trace.emit
+      (Obs_event.Span_close
+         { kind = kind_name sp.o_kind; site = sp.o_label; dur })
+
+let exit_matching pred =
+  let s = st () in
+  match s.sctx with
+  | Some c when s.on -> (
+      let tid = c.tid () in
+      match Hashtbl.find_opt s.stacks tid with
+      | None -> ()
+      | Some stack -> (
+          match remove_first pred stack with
+          | None -> ()
+          | Some (sp, rest) ->
+              (if rest = [] then Hashtbl.remove s.stacks tid
+               else Hashtbl.replace s.stacks tid rest);
+              close s c tid sp))
+  | _ -> ()
+
+let exit kind name =
+  (* Compute the label lazily-enough: only when active. *)
+  let s = st () in
+  if s.on && s.sctx <> None then
+    let lbl = label kind name in
+    exit_matching (fun sp -> sp.o_label = lbl)
+
+let exit_kind kind = exit_matching (fun sp -> sp.o_kind = kind)
+
+(* The holder's "acquire site": the span enclosing its open span for the
+   wanted resource — i.e. what the holder was doing when it took the
+   lock the waiter wants.  Falls back to the holder's innermost span
+   (event-aliased holds may not have opened the wanted span), then to
+   "(top-level)". *)
+let holder_context stack wanted =
+  let rec after = function
+    | [] -> None
+    | sp :: rest when sp.o_label = wanted -> (
+        match rest with
+        | [] -> Some "(top-level)"
+        | outer :: _ -> Some outer.o_label)
+    | _ :: rest -> after rest
+  in
+  match after stack with
+  | Some l -> l
+  | None -> ( match stack with sp :: _ -> sp.o_label | [] -> "(top-level)")
+
+let blocked ~kind ~name ~holder_tid ~wait_cycles =
+  let s = st () in
+  match s.sctx with
+  | Some _ when s.on ->
+      let wanted = label kind name in
+      let site = site_of s kind wanted in
+      site.s_blocked <- site.s_blocked + 1;
+      site.s_blocked_cycles <- site.s_blocked_cycles + max 0 wait_cycles;
+      let hstack =
+        Option.value ~default:[] (Hashtbl.find_opt s.stacks holder_tid)
+      in
+      let holder = holder_context hstack wanted in
+      let key = (wanted, holder) in
+      (match Hashtbl.find_opt s.edges key with
+      | Some e ->
+          e.e_count <- e.e_count + 1;
+          e.e_cycles <- e.e_cycles + max 0 wait_cycles
+      | None ->
+          Hashtbl.add s.edges key
+            {
+              e_wanted = wanted;
+              e_holder = holder;
+              e_count = 1;
+              e_cycles = max 0 wait_cycles;
+            })
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Views                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let copy_site s = { s with s_label = s.s_label }
+let copy_edge e = { e with e_wanted = e.e_wanted }
+
+let flight_of_ring r =
+  let out = ref [] in
+  for i = 0 to flight_cap - 1 do
+    let idx = (r.fnext + i) mod flight_cap in
+    match r.fbuf.(idx) with Some fs -> out := fs :: !out | None -> ()
+  done;
+  List.rev !out
+
+let current () =
+  let s = st () in
+  let sites =
+    Hashtbl.fold (fun _ site acc -> copy_site site :: acc) s.sites []
+    |> List.sort (fun a b -> String.compare a.s_label b.s_label)
+  in
+  let edges =
+    Hashtbl.fold (fun _ e acc -> copy_edge e :: acc) s.edges []
+    |> List.sort (fun a b ->
+           match compare b.e_cycles a.e_cycles with
+           | 0 -> compare (a.e_wanted, a.e_holder) (b.e_wanted, b.e_holder)
+           | c -> c)
+  in
+  let flight =
+    Array.to_list
+      (Array.mapi (fun i r -> (i - 1, flight_of_ring r)) s.flight)
+    |> List.filter (fun (_, l) -> l <> [])
+  in
+  let open_spans =
+    Hashtbl.fold (fun _ stack acc -> acc + List.length stack) s.stacks 0
+  in
+  { v_sites = sites; v_edges = edges; v_flight = flight; v_open = open_spans }
+
+let latch () = Domain.DLS.set last_key (Some (current ()))
+let last () = Domain.DLS.get last_key
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_blockers ?(top_n = 10) ppf v =
+  let by_blocked =
+    List.sort
+      (fun a b ->
+        match compare b.s_blocked_cycles a.s_blocked_cycles with
+        | 0 -> String.compare a.s_label b.s_label
+        | c -> c)
+      v.v_sites
+  in
+  match by_blocked with
+  | [] -> Format.fprintf ppf "(no spans recorded)@."
+  | sites ->
+      Format.fprintf ppf "%-28s %7s %11s %8s %8s %12s@." "site" "spans"
+        "busy-cycles" "max" "blocked" "blocked-cyc";
+      List.iteri
+        (fun i site ->
+          if i < top_n then
+            Format.fprintf ppf "%-28s %7d %11d %8d %8d %12d@." site.s_label
+              site.s_spans site.s_busy site.s_max site.s_blocked
+              site.s_blocked_cycles)
+        sites;
+      if v.v_edges <> [] then begin
+        Format.fprintf ppf "@.blocked-by edges (wanted <- holder context):@.";
+        List.iteri
+          (fun i e ->
+            if i < top_n then
+              Format.fprintf ppf "  %s <- %s  (%d waits, %d cycles)@."
+                e.e_wanted e.e_holder e.e_count e.e_cycles)
+          v.v_edges
+      end
+
+let pp_flight ppf v =
+  if v.v_flight <> [] then begin
+    Format.fprintf ppf "flight recorder (most recent spans per cpu):@.";
+    List.iter
+      (fun (cpu, spans) ->
+        Format.fprintf ppf "  cpu%d:@." cpu;
+        List.iter
+          (fun fs ->
+            Format.fprintf ppf "    [%8d..%8d] %-26s %s@." fs.f_t0 fs.f_t1
+              fs.f_label fs.f_tname)
+          spans)
+      v.v_flight
+  end
+
+(* The post-mortem suffix appended to deadlock reports; empty when the
+   recorder saw nothing (spans off or no activity).  Open spans are the
+   diagnostic half at a hang — a deadlocked run often completed few or
+   no spans (the §7 holder never releases), but what every thread still
+   HOLDS at dump time is exactly the evidence the cycle is made of. *)
+let flight_dump () =
+  let s = st () in
+  let v = current () in
+  let opens =
+    Hashtbl.fold (fun tid stack acc -> (tid, stack) :: acc) s.stacks []
+    |> List.filter (fun (_, stack) -> stack <> [])
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  if v.v_flight = [] && opens = [] then ""
+  else
+    Format.asprintf "%a%a" pp_flight v
+      (fun ppf -> function
+        | [] -> ()
+        | opens ->
+            Format.fprintf ppf
+              "open spans at the hang (per thread, innermost first):@.";
+            List.iter
+              (fun ((_ : int), stack) ->
+                (* Sorted by tid (stable across identical runs) but
+                   printed by name: the raw tid would differ between
+                   byte-compared repeat runs. *)
+                let tname =
+                  match stack with sp :: _ -> sp.o_tname | [] -> "?"
+                in
+                Format.fprintf ppf "  %s: %s@." tname
+                  (String.concat " < "
+                     (List.map
+                        (fun sp ->
+                          Printf.sprintf "%s since %d" sp.o_label sp.o_t0)
+                        stack)))
+              opens)
+      opens
+
+let to_json v =
+  let open Obs_json in
+  Obj
+    [
+      ( "sites",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("site", String s.s_label);
+                   ("kind", String (kind_name s.s_kind));
+                   ("spans", Int s.s_spans);
+                   ("busy_cycles", Int s.s_busy);
+                   ("max_cycles", Int s.s_max);
+                   ("blocked", Int s.s_blocked);
+                   ("blocked_cycles", Int s.s_blocked_cycles);
+                 ])
+             v.v_sites) );
+      ( "blocked_by",
+        List
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("wanted", String e.e_wanted);
+                   ("holder", String e.e_holder);
+                   ("count", Int e.e_count);
+                   ("cycles", Int e.e_cycles);
+                 ])
+             v.v_edges) );
+      ( "flight",
+        List
+          (List.map
+             (fun (cpu, spans) ->
+               Obj
+                 [
+                   ("cpu", Int cpu);
+                   ( "spans",
+                     List
+                       (List.map
+                          (fun fs ->
+                            Obj
+                              [
+                                ("site", String fs.f_label);
+                                ("thread", String fs.f_tname);
+                                ("t0", Int fs.f_t0);
+                                ("t1", Int fs.f_t1);
+                              ])
+                          spans) );
+                 ])
+             v.v_flight) );
+      ("open_spans", Int v.v_open);
+    ]

@@ -102,6 +102,7 @@ type t = {
   max_steps : int option;
   trace : bool;
   trace_capacity : int;
+  spans : bool;
   faults : faults;
   track_waits : bool;
   mc : mc_hooks option;
@@ -128,6 +129,7 @@ let default =
     max_steps = None;
     trace = false;
     trace_capacity = 65536;
+    spans = true;
     faults = no_faults;
     track_waits = false;
     mc = None;

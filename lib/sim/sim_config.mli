@@ -118,6 +118,11 @@ type t = {
   max_steps : int option;   (** hard step bound, None = unbounded *)
   trace : bool;             (** record an event trace *)
   trace_capacity : int;
+  spans : bool;
+      (** record causal spans and blocked-by edges ([Obs_span]) and feed
+          the flight recorder.  On by default: recording consumes no
+          schedule randomness and charges no cycles, so stats are
+          byte-identical either way (pinned by the determinism tests). *)
   faults : faults;          (** fault-injection odds; {!no_faults} = off *)
   track_waits : bool;
       (** report exact wait/hold edges into [Waits_for] so the engine's

@@ -168,6 +168,10 @@ val handoff_fault : unit -> bool
 val trace_events : unit -> Sim_trace.event list
 (** Events of the current (or most recent) run, when tracing is enabled. *)
 
+val trace_drop_stats : unit -> Sim_trace.drop_stats option
+(** The trace's loss counters (ring overflow vs disabled, split span vs
+    plain event) for the current or most recent run. *)
+
 val last_stats : unit -> stats option
 (** Stats of the most recently completed run. *)
 

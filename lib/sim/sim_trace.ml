@@ -20,12 +20,28 @@ type ring = {
   mutable overflowed : int;
 }
 
+(* Span records ([Obs_event.Span_close]) and plain instants are lost for
+   different reasons and debugged differently (a missing span breaks
+   critical-path attribution; a missing instant breaks event forensics),
+   so both loss counters are kept per kind.  Overflow classifies the
+   EVICTED record, not the incoming one — the evicted record is the one
+   actually lost. *)
+type drop_stats = {
+  dropped_spans : int;
+  dropped_events : int;
+  disabled_spans : int;
+  disabled_events : int;
+}
+
 type t = {
   per_ring : int;
   on : bool;
   rings : ring array;
   mutable seq : int;
   mutable disabled_discards : int;
+  mutable dropped_spans : int;
+  mutable dropped_events : int;
+  mutable disabled_spans : int;
 }
 
 let make ?(cpus = 1) ~capacity ~enabled () =
@@ -39,6 +55,9 @@ let make ?(cpus = 1) ~capacity ~enabled () =
           { buf = Array.make per_ring None; next = 0; count = 0; overflowed = 0 });
     seq = 0;
     disabled_discards = 0;
+    dropped_spans = 0;
+    dropped_events = 0;
+    disabled_spans = 0;
   }
 
 let enabled t = t.on
@@ -50,10 +69,20 @@ let ring_of t cpu =
   t.rings.(if i < 0 || i >= n then 0 else i)
 
 let record t ~step ~clock ~cpu ~context ev =
-  if not t.on then t.disabled_discards <- t.disabled_discards + 1
+  if not t.on then begin
+    t.disabled_discards <- t.disabled_discards + 1;
+    if Obs_event.is_span ev then t.disabled_spans <- t.disabled_spans + 1
+  end
   else begin
     let r = ring_of t cpu in
-    if r.count = t.per_ring then r.overflowed <- r.overflowed + 1
+    if r.count = t.per_ring then begin
+      r.overflowed <- r.overflowed + 1;
+      (* The slot about to be overwritten holds the record we lose. *)
+      match r.buf.(r.next) with
+      | Some evicted when Obs_event.is_span evicted.ev ->
+          t.dropped_spans <- t.dropped_spans + 1
+      | _ -> t.dropped_events <- t.dropped_events + 1
+    end
     else r.count <- r.count + 1;
     r.buf.(r.next) <- Some { seq = t.seq; step; clock; cpu; context; ev };
     t.seq <- t.seq + 1;
@@ -76,6 +105,14 @@ let dropped t =
 
 let disabled_discards t = t.disabled_discards
 
+let drop_stats t =
+  {
+    dropped_spans = t.dropped_spans;
+    dropped_events = t.dropped_events;
+    disabled_spans = t.disabled_spans;
+    disabled_events = t.disabled_discards - t.disabled_spans;
+  }
+
 let clear t =
   Array.iter
     (fun r ->
@@ -85,7 +122,10 @@ let clear t =
       r.overflowed <- 0)
     t.rings;
   t.seq <- 0;
-  t.disabled_discards <- 0
+  t.disabled_discards <- 0;
+  t.dropped_spans <- 0;
+  t.dropped_events <- 0;
+  t.disabled_spans <- 0
 
 let pp_event ppf e =
   Format.fprintf ppf "[%8d c%d @%8d] %-12s %-8s %s" e.step e.cpu e.clock
@@ -153,6 +193,8 @@ let chrome_json events =
             Some
               (span ~name:("hold:" ^ lock) ~ts:(e.clock - held_cycles)
                  ~dur:held_cycles e)
+        | Obs_event.Span_close { site; dur; _ } ->
+            Some (span ~name:("span:" ^ site) ~ts:(e.clock - dur) ~dur e)
         | _ -> None)
       events
   in

@@ -46,6 +46,19 @@ val disabled_discards : t -> int
 (** Events discarded because the trace was disabled — kept distinct from
     {!dropped} so "trace off" and "trace overflowed" are distinguishable. *)
 
+type drop_stats = {
+  dropped_spans : int;  (** span records evicted by ring overflow *)
+  dropped_events : int;  (** plain instants evicted by ring overflow *)
+  disabled_spans : int;  (** span records discarded while disabled *)
+  disabled_events : int;  (** plain instants discarded while disabled *)
+}
+
+val drop_stats : t -> drop_stats
+(** The loss counters split by record kind ([Obs_event.is_span]).
+    Overflow counters classify the {e evicted} record (the one actually
+    lost), so [dropped_spans + dropped_events = dropped] and
+    [disabled_spans + disabled_events = disabled_discards] exactly. *)
+
 val clear : t -> unit
 val pp_event : Format.formatter -> event -> unit
 val dump : Format.formatter -> t -> unit
@@ -54,5 +67,6 @@ val chrome_json : event list -> Obs_json.t
 (** Export as a Chrome trace-event document (loadable in chrome://tracing
     and Perfetto): every event as an instant on its cpu's track, plus
     synthesized complete-spans for TLB shootdowns (from
-    [Tlb_shootdown_done.cycles]) and lock hold times (from
-    [Lock_release.held_cycles]). *)
+    [Tlb_shootdown_done.cycles]), lock hold times (from
+    [Lock_release.held_cycles]) and causal spans (from
+    [Span_close.dur]). *)

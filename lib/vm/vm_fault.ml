@@ -1,4 +1,5 @@
 module K = Mach_ksync.Ksync
+module Obs_span = Mach_obs.Obs_span
 
 type fault_error = [ `Bad_address | `Object_terminated ]
 
@@ -72,4 +73,11 @@ let rec fault_inner ~wire ~prealloc map ~va =
                 let ppn = Vm_page.alloc_blocking ctx.pool in
                 fault_inner ~wire ~prealloc:(Some ppn) map ~va))
 
-let fault ?(wire = false) map ~va = fault_inner ~wire ~prealloc:None map ~va
+(* The fault->resolve span covers memory-shortage retries too: its
+   duration is the full latency the faulting thread observed. *)
+let fault ?(wire = false) map ~va =
+  let spans = Obs_span.enabled () in
+  if spans then Obs_span.enter Obs_span.Vm ("fault:" ^ Vm_map.name map);
+  let r = fault_inner ~wire ~prealloc:None map ~va in
+  if spans then Obs_span.exit Obs_span.Vm ("fault:" ^ Vm_map.name map);
+  r

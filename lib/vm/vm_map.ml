@@ -1,4 +1,5 @@
 module K = Mach_ksync.Ksync
+module Obs_span = Mach_obs.Obs_span
 
 type context = {
   pool : Vm_page.t;
@@ -123,6 +124,8 @@ let vm_allocate_at t ~va ~size =
   end
 
 let vm_allocate t ~size =
+  let spans = Obs_span.enabled () in
+  if spans then Obs_span.enter Obs_span.Vm ("alloc:" ^ t.mname);
   K.Clock.lock_write t.lock;
   let va = t.next_va in
   t.next_va <- va + size;
@@ -141,6 +144,7 @@ let vm_allocate t ~size =
       e_prot = Tlb.Read_write;
     };
   K.Clock.lock_done t.lock;
+  if spans then Obs_span.exit Obs_span.Vm ("alloc:" ^ t.mname);
   va
 
 (* Tear one entry down: break its mappings, free its resident pages,
@@ -160,20 +164,26 @@ let destroy_entry_locked t e =
   Vm_object.terminate e.e_object
 
 let vm_deallocate t ~va =
+  let spans = Obs_span.enabled () in
+  if spans then Obs_span.enter Obs_span.Vm ("dealloc:" ^ t.mname);
   K.Clock.lock_write t.lock;
-  match lookup_entry t ~va with
-  | None ->
-      K.Clock.lock_done t.lock;
-      Error `No_entry
-  | Some e ->
-      t.map_entries <- List.filter (fun e' -> e' != e) t.map_entries;
-      destroy_entry_locked t e;
-      K.Clock.lock_done t.lock;
-      (* The entry's object reference is dropped outside the map lock
-         (releasing may destroy, section 8 — the map lock is a sleep lock
-         so this is belt-and-braces rather than required). *)
-      Vm_object.release e.e_object;
-      Ok ()
+  let r =
+    match lookup_entry t ~va with
+    | None ->
+        K.Clock.lock_done t.lock;
+        Error `No_entry
+    | Some e ->
+        t.map_entries <- List.filter (fun e' -> e' != e) t.map_entries;
+        destroy_entry_locked t e;
+        K.Clock.lock_done t.lock;
+        (* The entry's object reference is dropped outside the map lock
+           (releasing may destroy, section 8 — the map lock is a sleep lock
+           so this is belt-and-braces rather than required). *)
+        Vm_object.release e.e_object;
+        Ok ()
+  in
+  if spans then Obs_span.exit Obs_span.Vm ("dealloc:" ^ t.mname);
+  r
 
 let release t =
   match K.Ref.release t.refs with

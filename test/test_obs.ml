@@ -366,6 +366,283 @@ let test_traced_run_has_typed_lock_events () =
        (fun c -> c.Profile.cls = "shared")
        (Profile.classes ()))
 
+(* ------------------------------------------------------------------ *)
+(* Spans: nesting/pairing invariants, blocked-by, critical path,        *)
+(* determinism, and cross-run leak regression                           *)
+(* ------------------------------------------------------------------ *)
+
+module Span = Mach_obs.Obs_span
+module Cp = Mach_obs.Obs_critical_path
+module Engine = Mach_sim.Sim_engine
+module Config = Mach_sim.Sim_config
+
+(* Drive the span layer outside the engine with a fake context: a
+   strictly increasing counter clock, one thread, cpu 0. *)
+let with_fake_ctx f =
+  let clock = ref 0 in
+  Span.reset ();
+  Span.install
+    (Some
+       {
+         Span.now =
+           (fun () ->
+             incr clock;
+             !clock);
+         tid = (fun () -> 7);
+         tname = (fun () -> "t7");
+         cpu = (fun () -> 0);
+       });
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.install None;
+      Span.reset ())
+    f
+
+(* Ops over a 4-label alphabet; the model mirrors the documented
+   semantics: enter pushes, exit closes the innermost matching label,
+   exit_kind the innermost of the kind, unmatched exits are no-ops. *)
+let apply_ops ops =
+  with_fake_ctx (fun () ->
+      let model = ref [] and closed = ref 0 in
+      let remove_first p l =
+        let rec go acc = function
+          | [] -> None
+          | x :: rest ->
+              if p x then Some (List.rev_append acc rest) else go (x :: acc) rest
+        in
+        go [] l
+      in
+      List.iter
+        (fun op ->
+          if op < 4 then begin
+            Span.enter Span.Lock (Printf.sprintf "l%d" op);
+            model := op :: !model
+          end
+          else if op < 8 then begin
+            let lbl = op - 4 in
+            Span.exit Span.Lock (Printf.sprintf "l%d" lbl);
+            match remove_first (fun x -> x = lbl) !model with
+            | Some rest ->
+                model := rest;
+                incr closed
+            | None -> ()
+          end
+          else begin
+            Span.exit_kind Span.Lock;
+            match !model with
+            | _ :: rest ->
+                model := rest;
+                incr closed
+            | [] -> ()
+          end)
+        ops;
+      let v = Span.current () in
+      let total_closed =
+        List.fold_left (fun acc s -> acc + s.Span.s_spans) 0 v.Span.v_sites
+      in
+      total_closed = !closed
+      && v.Span.v_open = List.length !model
+      && List.for_all
+           (fun s -> s.Span.s_busy >= s.Span.s_spans && s.Span.s_max >= 0)
+           v.Span.v_sites)
+
+let span_pairing_prop =
+  QCheck.Test.make ~count:300 ~name:"span nesting/pairing matches the model"
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 9))
+    apply_ops
+
+(* Critical-path attribution: for any event soup and makespan, fractions
+   are non-negative, disjoint-by-construction, and sum to <= 1.0. *)
+let cp_sums_prop =
+  let gen =
+    QCheck.(
+      pair (int_range 1 2000)
+        (list_of_size (Gen.int_range 0 40)
+           (triple (int_range 0 2000) (int_range 0 3) (int_range 0 800))))
+  in
+  QCheck.Test.make ~count:300
+    ~name:"critical-path fractions sum to <= 1.0" gen
+    (fun (makespan, raw) ->
+      let evs =
+        List.map
+          (fun (clock, which, c) ->
+            let ev =
+              match which with
+              | 0 ->
+                  Event.Lock_acquire
+                    { lock = "l" ^ string_of_int (c mod 3); spins = 1; wait_cycles = c }
+              | 1 -> Event.Span_close { kind = "event"; site = "event:evt1"; dur = c }
+              | 2 -> Event.Span_close { kind = "ipc"; site = "ipc:send:p"; dur = c }
+              | _ -> Event.Lock_release { lock = "l0"; held_cycles = c }
+            in
+            { Cp.cp_clock = clock; cp_ev = ev })
+          raw
+      in
+      let r = Cp.compute ~makespan evs in
+      let sum =
+        List.fold_left (fun acc a -> acc +. a.Cp.fraction) 0. r.Cp.attributed
+      in
+      sum <= 1.0 +. 1e-9
+      && List.for_all
+           (fun a -> a.Cp.fraction >= 0. && a.Cp.cycles >= 0)
+           r.Cp.attributed
+      && r.Cp.residual >= -1e-9
+      && abs_float (1.0 -. sum -. r.Cp.residual) <= 1e-6)
+
+(* The span layer must be schedule-invisible: the same (seed, cfg)
+   contention run produces byte-identical stats with spans on and off. *)
+let contention_scenario () =
+  let module K = Mach_ksync.Ksync in
+  let l = K.Slock.make ~name:"contended" ~protocol:Mach_core.Spin.Ttas () in
+  let ts =
+    List.init 4 (fun k ->
+        Engine.spawn ~name:(Printf.sprintf "w%d" k) (fun () ->
+            for _ = 1 to 8 do
+              K.Slock.lock l;
+              Engine.cycles 20;
+              K.Slock.unlock l
+            done))
+  in
+  List.iter Engine.join ts
+
+let stats_line ~spans =
+  let cfg = { Config.default with Config.cpus = 4; seed = 11; spans } in
+  Format.asprintf "%a" Engine.pp_stats (Engine.run ~cfg contention_scenario)
+
+let test_spans_do_not_perturb_schedule () =
+  let on = stats_line ~spans:true in
+  let off = stats_line ~spans:false in
+  Alcotest.(check string) "spans-on stats byte-identical to spans-off" off on;
+  (* and the on-run really recorded spans, or the equality proves nothing *)
+  match Span.last () with
+  | Some v ->
+      check_bool "spans-off run latches an empty view" true (v.Span.v_sites = [])
+  | None -> ()
+
+let run_contention_spans () =
+  let cfg = { Config.default with Config.cpus = 4; seed = 11 } in
+  ignore (Engine.run ~cfg contention_scenario);
+  match Span.last () with
+  | Some v -> v
+  | None -> Alcotest.fail "no span view latched"
+
+(* Blocked-by pinned: with checking on, every contended acquisition of
+   the hammered lock lands one edge attributed to the holder's context
+   (the workers hold nothing else, so it is "(top-level)"). *)
+let test_blocked_by_edges_pinned () =
+  Profile.reset ();
+  let v = run_contention_spans () in
+  let site =
+    match
+      List.find_opt (fun s -> s.Span.s_label = "lock:contended") v.Span.v_sites
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no lock:contended site"
+  in
+  check_int "all 32 acquisitions closed spans" 32 site.Span.s_spans;
+  let contended =
+    match List.find_opt (fun c -> c.Profile.cls = "contended") (Profile.classes ()) with
+    | Some c -> c.Profile.contended
+    | None -> Alcotest.fail "profiler missed the lock class"
+  in
+  check_bool "the run was actually contended" true (contended > 0);
+  check_int "every contended wait attributed" contended site.Span.s_blocked;
+  match v.Span.v_edges with
+  | [ e ] ->
+      Alcotest.(check string) "edge wanted" "lock:contended" e.Span.e_wanted;
+      Alcotest.(check string) "edge holder context" "(top-level)" e.Span.e_holder;
+      check_int "edge count = contended waits" contended e.Span.e_count
+  | edges ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one blocked-by edge, got %d"
+           (List.length edges))
+
+(* Cross-run leak regression (the PR-4 Event-registry bug shape): a
+   second identical run must latch an identical view, not a doubled
+   one — Run_reset really clears the live span tables between runs. *)
+let test_spans_reset_between_runs () =
+  let v1 = run_contention_spans () in
+  let v2 = run_contention_spans () in
+  let summarize v =
+    List.map
+      (fun s -> (s.Span.s_label, s.Span.s_spans, s.Span.s_blocked))
+      v.Span.v_sites
+  in
+  check_bool "second run's sites identical (no accumulation)" true
+    (summarize v1 = summarize v2);
+  check_int "no spans left open across runs" 0 v2.Span.v_open
+
+(* The section 7 three-processor interrupt deadlock (lib/chaos): the
+   post-mortem must carry the open-span dump naming the held lock. *)
+let test_section7_deadlock_flight_dump () =
+  let module Chaos = Mach_chaos.Chaos in
+  let module Fault = Mach_chaos.Chaos_fault in
+  let r =
+    Chaos.run_one ~cpus:4 ~seed:1 ~faults:(Fault.mix [])
+      Mach_chaos.Chaos_scenarios.interrupt_deadlock
+  in
+  check_bool "the seeded run deadlocks" true (Chaos.detected r.Chaos.detection);
+  check_bool "report names the waits-for cycle" true
+    (contains r.Chaos.report "waits-for cycle");
+  check_bool "report carries the open-span dump" true
+    (contains r.Chaos.report "open spans at the hang");
+  check_bool "the dump names the held section 7 lock" true
+    (contains r.Chaos.report "lock:the-lock")
+
+(* Span records in the drop accounting: both the disabled and the
+   overflow counters split exactly by record kind. *)
+let test_drop_stats_split () =
+  let mk_span i = Event.Span_close { kind = "lock"; site = "lock:l"; dur = i } in
+  let mk_raw i = Event.Raw { tag = "x"; detail = string_of_int i } in
+  let off = Trace.make ~cpus:2 ~capacity:30 ~enabled:false () in
+  for i = 0 to 2 do
+    Trace.record off ~step:i ~clock:i ~cpu:0 ~context:"t" (mk_span i)
+  done;
+  for i = 0 to 3 do
+    Trace.record off ~step:i ~clock:i ~cpu:0 ~context:"t" (mk_raw i)
+  done;
+  let d = Trace.drop_stats off in
+  check_int "disabled spans" 3 d.Trace.disabled_spans;
+  check_int "disabled events" 4 d.Trace.disabled_events;
+  check_int "disabled split is exact" (Trace.disabled_discards off)
+    (d.Trace.disabled_spans + d.Trace.disabled_events);
+  (* per-cpu ring capacity is 10 (30 over 3 rings): 12 instants overflow
+     by 2, then 10 spans evict the remaining 10 instants, then 5 more
+     spans evict 5 spans — the counters classify the EVICTED record. *)
+  let on = Trace.make ~cpus:2 ~capacity:30 ~enabled:true () in
+  for i = 0 to 11 do
+    Trace.record on ~step:i ~clock:i ~cpu:0 ~context:"t" (mk_raw i)
+  done;
+  for i = 0 to 9 do
+    Trace.record on ~step:i ~clock:i ~cpu:0 ~context:"t" (mk_span i)
+  done;
+  let d = Trace.drop_stats on in
+  check_int "overflow events after phase 2" 12 d.Trace.dropped_events;
+  check_int "overflow spans after phase 2" 0 d.Trace.dropped_spans;
+  for i = 10 to 14 do
+    Trace.record on ~step:i ~clock:i ~cpu:0 ~context:"t" (mk_span i)
+  done;
+  let d = Trace.drop_stats on in
+  check_int "overflow spans after phase 3" 5 d.Trace.dropped_spans;
+  check_int "overflow split is exact" (Trace.dropped on)
+    (d.Trace.dropped_spans + d.Trace.dropped_events);
+  Trace.clear on;
+  let d = Trace.drop_stats on in
+  check_int "clear resets the span counters" 0
+    (d.Trace.dropped_spans + d.Trace.dropped_events + d.Trace.disabled_spans
+   + d.Trace.disabled_events)
+
+(* Span_close records survive to the Chrome export as complete spans. *)
+let test_chrome_export_has_spans () =
+  let t = Trace.make ~cpus:2 ~capacity:100 ~enabled:true () in
+  Trace.record t ~step:1 ~clock:120 ~cpu:0 ~context:"thr"
+    (Event.Span_close { kind = "ipc"; site = "ipc:send:p"; dur = 100 });
+  let text = Json.to_string (Trace.chrome_json (Trace.events t)) in
+  check_bool "span name present" true (contains text "span:ipc:send:p");
+  check_bool "Span_close record present" true (contains text "Span_close")
+
 let () =
   let open Alcotest in
   run "obs"
@@ -402,5 +679,22 @@ let () =
           test_case "registry counters and shards" `Quick test_metrics_registry;
           test_case "classes and waits-for edges" `Quick
             test_profile_classes_and_edges;
+        ] );
+      ( "spans",
+        [
+          QCheck_alcotest.to_alcotest span_pairing_prop;
+          QCheck_alcotest.to_alcotest cp_sums_prop;
+          test_case "spans-on stats byte-identical to spans-off" `Quick
+            test_spans_do_not_perturb_schedule;
+          test_case "blocked-by edges pinned on the contention run" `Quick
+            test_blocked_by_edges_pinned;
+          test_case "live tables reset between runs (no leak)" `Quick
+            test_spans_reset_between_runs;
+          test_case "section 7 deadlock report carries the span dump" `Quick
+            test_section7_deadlock_flight_dump;
+          test_case "drop accounting splits spans from instants" `Quick
+            test_drop_stats_split;
+          test_case "chrome export carries causal spans" `Quick
+            test_chrome_export_has_spans;
         ] );
     ]
