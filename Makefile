@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke report-smoke chaos-smoke mc-smoke clean
+.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke report-smoke chaos-smoke mc-smoke vm-smoke clean
 
 all: build
 
@@ -108,6 +108,18 @@ mc-smoke:
 	dune exec bench/main.exe -- E14
 	test -f BENCH_mc.json
 	@echo "mc-smoke passed"
+
+# Range-lock smoke (<60s): model-check the 2-cpu range matrix (an
+# overlapping pair serializes on every schedule, a disjoint pair
+# completes on every schedule), prove the ABBA deadlock report names
+# the exact ranges, then regenerate the E16 storm sweep.
+vm-smoke:
+	dune exec bin/machsim.exe -- mc range-overlap --cpus 2 --no-baseline | grep -q "VERIFIED"
+	dune exec bin/machsim.exe -- mc range-disjoint --cpus 2 --no-baseline | grep -q "VERIFIED"
+	dune exec bin/machsim.exe -- report range-deadlock | grep -q "range lock abba.range"
+	dune exec bench/main.exe -- E16
+	test -f BENCH_vm.json
+	@echo "vm-smoke passed"
 
 clean:
 	dune clean

@@ -1352,6 +1352,131 @@ module E15 = struct
 end
 
 (* ================================================================== *)
+(* E16: range locks over the VM map: fault storms at scale              *)
+(* ================================================================== *)
+
+module E16 = struct
+  (* Each thread owns a disjoint slice of one map and repeatedly
+     allocates, faults and deallocates it (Scenarios.vm_fault_storm).
+     Under the coarse discipline every operation takes the one map lock,
+     so the storm serializes no matter how disjoint the addresses; under
+     range locking only overlapping requests conflict.  The workload is
+     deliberately light per thread (the 64-cpu coarse row is quadratic
+     in waiters) so the sweep stays in smoke-test range. *)
+  let sweep = [ 2; 8; 16; 32; 64 ]
+  let pages_per_thread = 2
+  let rounds = 1
+
+  let storm locking cpus =
+    sim_run ~cpus (fun () ->
+        Scenarios.vm_fault_storm ~locking ~threads:cpus ~pages_per_thread
+          ~rounds ())
+
+  let run () =
+    section ~id:"E16" ~title:"range locks over the VM map: fault storms"
+      ~claim:
+        "a map-wide lock serializes every allocation, fault and \
+         deallocation no matter how disjoint their addresses; a \
+         list-based range lock admits all non-overlapping operations at \
+         once, so a many-thread fault storm across a large address space \
+         scales with cpus instead of collapsing onto the one lock (s.4)";
+    let tbl = Hashtbl.create 16 in
+    let disciplines = [ Vm.Vm_map.Coarse; Vm.Vm_map.Range ] in
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun locking ->
+              let s = storm locking cpus in
+              let name = Vm.Vm_map.locking_name locking in
+              Hashtbl.replace tbl (name, cpus) s;
+              [
+                i cpus;
+                name;
+                i s.Engine.makespan;
+                i s.Engine.bus_transactions;
+                i s.Engine.atomic_ops;
+              ])
+            disciplines)
+        sweep
+    in
+    table
+      ~header:[ "cpus"; "locking"; "makespan"; "bus-txns"; "atomics" ]
+      rows;
+    let speedup cpus =
+      let c = Hashtbl.find tbl ("coarse", cpus) in
+      let r = Hashtbl.find tbl ("range", cpus) in
+      float_of_int c.Engine.makespan /. float_of_int r.Engine.makespan
+    in
+    printf "\nrange-lock speedup over the coarse map lock (makespan ratio):\n";
+    table
+      ~header:[ "cpus"; "coarse/range" ]
+      (List.map (fun c -> [ i c; f2 (speedup c) ]) sweep);
+    (* Crossover: smallest cpu count at which the range-locked map beats
+       the coarse one and stays ahead for the rest of the sweep. *)
+    let beats c = speedup c > 1.0 in
+    let crossover =
+      let rec scan = function
+        | [] -> None
+        | c :: rest ->
+            if beats c && List.for_all beats rest then Some c else scan rest
+      in
+      scan sweep
+    in
+    (match crossover with
+    | Some c -> printf "range beats coarse from %d cpus up\n" c
+    | None -> printf "range never beats coarse in this sweep\n");
+    let storm_json =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun locking ->
+              let name = Vm.Vm_map.locking_name locking in
+              let s = Hashtbl.find tbl (name, cpus) in
+              Obs_json.Obj
+                [
+                  ("locking", Obs_json.String name);
+                  ("cpus", Obs_json.Int cpus);
+                  ("makespan", Obs_json.Int s.Engine.makespan);
+                  ("bus_txns", Obs_json.Int s.Engine.bus_transactions);
+                  ("atomics", Obs_json.Int s.Engine.atomic_ops);
+                ])
+            disciplines)
+        sweep
+    in
+    let speedup_json =
+      List.map
+        (fun c ->
+          Obs_json.Obj
+            [
+              ("cpus", Obs_json.Int c);
+              ("range_speedup", Obs_json.Float (speedup c));
+            ])
+        sweep
+    in
+    let out = "BENCH_vm.json" in
+    let oc = open_out out in
+    output_string oc
+      (Obs_json.to_string
+         (Obs_json.Obj
+            [
+              ( "E16",
+                Obs_json.Obj
+                  [
+                    ("storm", Obs_json.List storm_json);
+                    ("speedup", Obs_json.List speedup_json);
+                    ( "crossover_cpus",
+                      match crossover with
+                      | None -> Obs_json.Null
+                      | Some c -> Obs_json.Int c );
+                  ] );
+            ]));
+    output_char oc '\n';
+    close_out oc;
+    printf "\nvm-map tables written to %s\n" out
+end
+
+(* ================================================================== *)
 (* E18: causal observability: blockers, critical path, flight recorder *)
 (* ================================================================== *)
 
@@ -1512,6 +1637,7 @@ let experiments =
     ("E13", E13.run);
     ("E14", E14.run);
     ("E15", E15.run);
+    ("E16", E16.run);
     ("E18", E18.run);
     ("X1", X1.run);
   ]

@@ -124,5 +124,42 @@ let () =
           not free"
          (100. *. !max_spans_overhead))
   in
-  if ratio_failed || spans_failed then exit 1
+  (* The range-lock fault path (E16): vm.range_speedup is measured in
+     simulated time, so it is deterministic — no estimator pairing or
+     noise floor needed.  The check only runs when the committed
+     reference carries the row (older references predate it). *)
+  let vm_failed =
+    let vm_field doc path field =
+      match Obs_json.member "vm" doc with
+      | None -> None
+      | Some vm -> (
+          match number (Obs_json.member field vm) with
+          | Some f when f > 0. -> Some f
+          | Some _ -> die "%s: vm.%s must be positive" path field
+          | None -> None)
+    in
+    match vm_field (json_of_file !reference) !reference "min_range_speedup" with
+    | None -> false
+    | Some floor -> (
+        match vm_field (json_of_file !perf) !perf "range_speedup" with
+        | None -> die "%s: vm.range_speedup missing" !perf
+        | Some m ->
+            let m = if !inject then m /. 2. else m in
+            Printf.printf
+              "perf-gate: vm fault path: vm.range_speedup measured=%.2f  \
+               floor=%.2f%s\n"
+              m floor
+              (if !inject then "  [injected 2x slowdown]" else "");
+            if m < floor then begin
+              Printf.printf
+                "perf-gate: FAIL: the range-locked fault storm no longer \
+                 beats the coarse map lock by at least %.1fx at 16 cpus; \
+                 the range-lock fault path has reserialized (the number is \
+                 deterministic simulated time, not host noise)\n"
+                floor;
+              true
+            end
+            else false)
+  in
+  if ratio_failed || spans_failed || vm_failed then exit 1
   else Printf.printf "perf-gate: OK\n"

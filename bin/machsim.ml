@@ -170,6 +170,21 @@ let scenarios : (string * (string * (unit -> unit))) list =
     ( "wire-rewritten",
       ( "the Mach 3.0 vm_map_pageable rewrite vs pageout (deadlock-free)",
         pageable_scenario ~use_recursive:false ) );
+    ( "vm-fault",
+      ( "disjoint-slice allocate/fault/deallocate storm on a range-locked map",
+        fun () -> Scenarios.vm_fault_storm ~locking:Vm.Vm_map.Range () ) );
+    ( "vm-fault-coarse",
+      ( "the same storm under the paper's single coarse map lock",
+        fun () -> Scenarios.vm_fault_storm ~locking:Vm.Vm_map.Coarse () ) );
+    ( "range-disjoint",
+      ( "two threads hold disjoint ranges of one range lock concurrently",
+        Scenarios.range_disjoint ) );
+    ( "range-overlap",
+      ( "two threads contend overlapping write ranges (must serialize)",
+        Scenarios.range_overlap ) );
+    ( "range-deadlock",
+      ( "ABBA across two ranges: the report names the exact ranges held",
+        Scenarios.range_abba ) );
     ( "shootdown",
       ( "TLB shootdowns: pmap removals rendezvous with every other cpu",
         shootdown_scenario ) );

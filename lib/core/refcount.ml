@@ -59,7 +59,12 @@ struct
 
   let drop t =
     let old = M.Cell.fetch_and_add t.cell (-1) in
-    if checking () && old <= 0 then
+    (* Underflow detection is NOT gated on checking mode: a release
+       without a matching reference silently wraps the count negative and
+       every later release frees an object still in use.  Context checks
+       (locks held across release) stay debug-only, but an underflowed
+       count is corruption already in progress and always fatal. *)
+    if old <= 0 then
       M.fatal
         (Printf.sprintf "refcount %s: release with count %d (double free)"
            t.rname old);

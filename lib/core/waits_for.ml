@@ -16,21 +16,27 @@ type resource =
   | Clock of { uid : int; name : string }
   | Event of { id : int }
   | Rendezvous of { name : string }
+  | Range of { uid : int; name : string; lo : int; hi : int }
 
 let res_label = function
   | Slock { name; _ } -> "simple lock " ^ name
   | Clock { name; _ } -> "complex lock " ^ name
   | Event { id } -> "event " ^ string_of_int id
   | Rendezvous { name } -> "rendezvous " ^ name
+  | Range { name; lo; hi; _ } ->
+      if lo = 0 && hi = max_int then "range lock " ^ name ^ " [whole]"
+      else Printf.sprintf "range lock %s [%#x,%#x)" name lo hi
 
 (* Stable node identifier for graph construction (distinct constructors
    use distinct prefixes so a simple lock and a complex lock with equal
-   uids never collide). *)
+   uids never collide).  Range nodes are per-(lock, range): waiters on
+   [lo, hi) point at the holders of exactly that range. *)
 let res_id = function
   | Slock { uid; _ } -> "S" ^ string_of_int uid
   | Clock { uid; _ } -> "C" ^ string_of_int uid
   | Event { id } -> "E" ^ string_of_int id
   | Rendezvous { name } -> "R" ^ name
+  | Range { uid; lo; hi; _ } -> Printf.sprintf "G%d:%d:%d" uid lo hi
 
 type state = {
   waits : (int, (string * resource) list) Hashtbl.t; (* tid -> edges *)

@@ -12,6 +12,10 @@ type resource =
   | Clock of { uid : int; name : string }
   | Event of { id : int }
   | Rendezvous of { name : string }
+  | Range of { uid : int; name : string; lo : int; hi : int }
+      (** One held or wanted range of a range lock; waiters on an
+          overlapping range report a wait edge against each conflicting
+          holder's exact [Range] node. *)
 
 val res_label : resource -> string
 (** Human-readable name ("simple lock the-lock", "event 7", ...). *)

@@ -2,10 +2,18 @@ module K = Mach_ksync.Ksync
 module Kobj = Mach_ksync.Kobj
 module Obs_span = Mach_obs.Obs_span
 
+(* The message queue is a classic front/rear two-list queue with an
+   explicit length: enqueue conses onto [q_rear], dequeue pops [q_front]
+   (reversing the rear into the front when it empties), and the
+   queue-full check reads [q_len] — all O(1) amortized under the port
+   lock, where the old single-list representation paid an O(n) append
+   per send and an O(n) [List.length] per attempt on the RPC hot path. *)
 type t = {
   pobj : Kobj.t;
   mutable object_ptr : Kobj.t option; (* represented object, with a ref *)
-  mutable queue : queued_message list;
+  mutable q_front : queued_message list; (* next to dequeue, in order *)
+  mutable q_rear : queued_message list; (* most recent first *)
+  mutable q_len : int;
   queue_limit : int;
   msg_event : K.Ev.event; (* receivers wait here *)
   space_event : K.Ev.event; (* senders wait here *)
@@ -29,7 +37,9 @@ let create ?name ?(queue_limit = 16) () =
     {
       pobj = Kobj.make ?name Kobj.No_payload;
       object_ptr = None;
-      queue = [];
+      q_front = [];
+      q_rear = [];
+      q_len = 0;
       queue_limit;
       msg_event = K.Ev.fresh_event ();
       space_event = K.Ev.fresh_event ();
@@ -97,7 +107,8 @@ let enqueue_locked t msg =
   (* Clone the references the queued message holds. *)
   reference t;
   reference_rights msg;
-  t.queue <- t.queue @ [ { qm = msg; dest = t } ];
+  t.q_rear <- { qm = msg; dest = t } :: t.q_rear;
+  t.q_len <- t.q_len + 1;
   ignore (K.Ev.thread_wakeup t.msg_event)
 
 (* The send and receive spans cover the whole operation including
@@ -112,7 +123,7 @@ let send t msg =
       Kobj.unlock t.pobj;
       Error `Dead_port
     end
-    else if List.length t.queue >= t.queue_limit then begin
+    else if t.q_len >= t.queue_limit then begin
       (* Queue full: release the port lock and wait for space. *)
       ignore (K.Ev.thread_sleep t.space_event (Kobj.object_lock t.pobj));
       attempt ()
@@ -131,7 +142,7 @@ let try_send t msg =
   Kobj.lock t.pobj;
   let r =
     if not (Kobj.is_active t.pobj) then Error `Dead_port
-    else if List.length t.queue >= t.queue_limit then Error `Would_block
+    else if t.q_len >= t.queue_limit then Error `Would_block
     else begin
       enqueue_locked t msg;
       Ok ()
@@ -141,12 +152,20 @@ let try_send t msg =
   r
 
 let dequeue_locked t =
-  match t.queue with
-  | [] -> None
-  | q :: rest ->
-      t.queue <- rest;
-      ignore (K.Ev.thread_wakeup t.space_event);
-      Some q
+  if t.q_len = 0 then None
+  else begin
+    (if t.q_front = [] then begin
+       t.q_front <- List.rev t.q_rear;
+       t.q_rear <- []
+     end);
+    match t.q_front with
+    | q :: rest ->
+        t.q_front <- rest;
+        t.q_len <- t.q_len - 1;
+        ignore (K.Ev.thread_wakeup t.space_event);
+        Some q
+    | [] -> assert false (* q_len > 0 implies a non-empty side *)
+  end
 
 let receive t =
   let spans = Obs_span.enabled () in
@@ -189,7 +208,7 @@ let try_receive t =
         Kobj.unlock t.pobj;
         Error `Would_block
 
-let queued t = Kobj.with_lock t.pobj (fun () -> List.length t.queue)
+let queued t = Kobj.with_lock t.pobj (fun () -> t.q_len)
 
 (* ------------------------------------------------------------------ *)
 (* Death                                                                *)
@@ -198,8 +217,10 @@ let queued t = Kobj.with_lock t.pobj (fun () -> List.length t.queue)
 let destroy t =
   Kobj.lock t.pobj;
   if Kobj.deactivate t.pobj then begin
-    let drained = t.queue in
-    t.queue <- [];
+    let drained = t.q_front @ List.rev t.q_rear in
+    t.q_front <- [];
+    t.q_rear <- [];
+    t.q_len <- 0;
     let obj = t.object_ptr in
     t.object_ptr <- None;
     (* Waiters re-check the active flag and fail with Dead_port. *)

@@ -49,3 +49,48 @@ val object_ops_workload :
 val null_rpc_workload : Kernel.t -> clients:int -> calls_each:int -> unit
 (** Spawn [clients] threads each performing [calls_each] null RPCs to the
     kernel host port; joins them all. *)
+
+(** {1 Range locks over the VM map (experiment E16)} *)
+
+val range_pair :
+  r1:int * int ->
+  m1:Mach_locks.Range_lock.mode ->
+  r2:int * int ->
+  m2:Mach_locks.Range_lock.mode ->
+  expect_parallel:bool ->
+  unit ->
+  bool
+(** One cell of the 2-cpu range-lock matrix: two threads acquire the
+    given ranges and meet in the critical section if the lock lets
+    them.  Fatal if conflicting requests are held concurrently (unless
+    [expect_parallel]); returns whether this schedule interleaved the
+    holds, so a model checker can both refute overlap concurrency and
+    witness disjoint parallelism. *)
+
+val range_disjoint : unit -> unit
+(** [range_pair] on disjoint write ranges; never fatal. *)
+
+val range_overlap : unit -> unit
+(** [range_pair] on overlapping write ranges; fatal iff the lock ever
+    admits both. *)
+
+val range_abba : unit -> unit
+(** Two threads each hold one range and want the other's: deadlocks on
+    every schedule, with the waits-for edges naming the exact ranges. *)
+
+val vm_fault_storm :
+  ?locking:Mach_vm.Vm_map.locking ->
+  ?threads:int ->
+  ?pages_per_thread:int ->
+  ?rounds:int ->
+  unit ->
+  unit
+(** The E16 workload: [threads] (default [cpu_count]) threads each own a
+    disjoint [pages_per_thread]-page slice of one map and repeatedly
+    allocate_at / fault / deallocate it, [rounds] times.  Run inside a
+    simulation; makespan is read from the run stats. *)
+
+val vm_fault_vs_deallocate : overlapping:bool -> unit -> unit
+(** Model-checkable pair on a [Range] map: one thread faults region A
+    while another deallocates region B (= A when [overlapping]).  Fatal
+    on any outcome the range-locked map must not produce. *)

@@ -10,3 +10,8 @@ include Mach_core.Sync.Make (Mach_sim.Sim_machine)
     (and [Clock.make ?proto]); [Locks.Brlock] is the big-reader
     readers/writer lock. *)
 module Locks = Mach_locks.Locks.Make (Mach_sim.Sim_machine)
+
+(** The list-based range lock (Kogan et al.) on the same machine,
+    sharing the simple-lock and event layers so checking, waits-for
+    edges and observability compose with the rest of the kernel. *)
+module Rlock = Mach_locks.Range_lock.Make (Mach_sim.Sim_machine) (Slock) (Ev)

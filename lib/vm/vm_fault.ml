@@ -6,13 +6,16 @@ type fault_error = [ `Bad_address | `Object_terminated ]
 let retried = Atomic.make 0
 let faults_retried () = Atomic.get retried
 
+(* The fault holds only the faulting page's range ([va, va+1)) for
+   reading: on a Range map, faults on different pages — and allocations
+   of disjoint regions — proceed in parallel; on a Coarse map this is
+   the classic whole-map read lock. *)
 let rec fault_inner ~wire ~prealloc map ~va =
   let ctx = Vm_map.context map in
-  let lock = Vm_map.map_lock map in
-  K.Clock.lock_read lock;
+  let h = Vm_map.lock_range_read map ~lo:va ~hi:(va + 1) in
   match Vm_map.lookup_entry map ~va with
   | None ->
-      K.Clock.lock_done lock;
+      Vm_map.unlock_range map h;
       (match prealloc with Some ppn -> Vm_page.free ctx.pool ppn | None -> ());
       Error `Bad_address
   | Some e -> (
@@ -21,7 +24,7 @@ let rec fault_inner ~wire ~prealloc map ~va =
       Vm_object.lock obj;
       if not (Vm_object.paging_begin obj) then begin
         Vm_object.unlock obj;
-        K.Clock.lock_done lock;
+        Vm_map.unlock_range map h;
         (match prealloc with
         | Some ppn -> Vm_page.free ctx.pool ppn
         | None -> ());
@@ -38,7 +41,7 @@ let rec fault_inner ~wire ~prealloc map ~va =
           Vm_object.lock obj;
           Vm_object.paging_end obj;
           Vm_object.unlock obj;
-          K.Clock.lock_done lock;
+          Vm_map.unlock_range map h;
           Ok ppn
         in
         match Vm_object.page_at obj ~offset with
@@ -49,7 +52,7 @@ let rec fault_inner ~wire ~prealloc map ~va =
                    spare back (without locks held). *)
                 Vm_object.paging_end obj;
                 Vm_object.unlock obj;
-                K.Clock.lock_done lock;
+                Vm_map.unlock_range map h;
                 Vm_page.free ctx.pool ppn;
                 fault_inner ~wire ~prealloc:None map ~va
             | None -> finish page)
@@ -69,7 +72,7 @@ let rec fault_inner ~wire ~prealloc map ~va =
                 ignore (Atomic.fetch_and_add retried 1);
                 Vm_object.paging_end obj;
                 Vm_object.unlock obj;
-                K.Clock.lock_done lock;
+                Vm_map.unlock_range map h;
                 let ppn = Vm_page.alloc_blocking ctx.pool in
                 fault_inner ~wire ~prealloc:(Some ppn) map ~va))
 

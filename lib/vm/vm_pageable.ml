@@ -25,46 +25,25 @@ let fault_range map ~va ~pages =
   in
   go 0
 
-(* The paper's original implementation: write lock -> mark -> set
-   recursive -> downgrade -> fault with the recursive read lock held. *)
-let wire_recursive map ~va ~pages =
-  let lock = Vm_map.map_lock map in
-  K.Clock.lock_write lock;
-  match mark_entries_locked map ~va ~pages ~wired:true with
-  | Error _ as e ->
-      K.Clock.lock_done lock;
-      e
-  | Ok () ->
-      K.Clock.lock_set_recursive lock;
-      K.Clock.lock_write_to_read lock;
-      (* Faults below recursively read-lock the map; a memory shortage
-         makes a fault drop its own recursive read and sleep — with the
-         outer read still held.  A pageout needing the write lock on this
-         map then deadlocks the system (section 7.1). *)
-      let result = fault_range map ~va ~pages in
-      K.Clock.lock_clear_recursive lock;
-      K.Clock.lock_done lock;
-      (result :> (unit, wire_error) result)
-
 (* The Mach 3.0 rewrite: no recursive locking.  Mark under the write
    lock, remember the version, unlock completely, fault without the map
-   lock, relock and revalidate. *)
+   lock, relock and revalidate.  On a Range map only [va, va+pages) is
+   write-locked, so wiring one region does not stall faults elsewhere. *)
 let wire_rewritten map ~va ~pages =
-  let lock = Vm_map.map_lock map in
-  K.Clock.lock_write lock;
+  let h = Vm_map.lock_range_write map ~lo:va ~hi:(va + pages) in
   match mark_entries_locked map ~va ~pages ~wired:true with
   | Error _ as e ->
-      K.Clock.lock_done lock;
+      Vm_map.unlock_range map h;
       e
   | Ok () ->
-      K.Clock.lock_done lock;
+      Vm_map.unlock_range map h;
       let result = fault_range map ~va ~pages in
       (match result with
       | Error _ as e -> (e :> (unit, wire_error) result)
       | Ok () ->
           (* Revalidate: the entries must still exist and still be marked
              wired (a concurrent deallocate would have removed them). *)
-          K.Clock.lock_read lock;
+          let h = Vm_map.lock_range_read map ~lo:va ~hi:(va + pages) in
           let rec check i =
             if i >= pages then Ok ()
             else
@@ -74,12 +53,39 @@ let wire_rewritten map ~va ~pages =
               | Some _ | None -> Error `Map_changed
           in
           let r = check 0 in
-          K.Clock.lock_done lock;
+          Vm_map.unlock_range map h;
           r)
 
+(* The paper's original implementation: write lock -> mark -> set
+   recursive -> downgrade -> fault with the recursive read lock held.
+   The recursion is a property of the coarse complex lock; a Range map
+   has no recursive range holds (the fault takes its own disjoint
+   per-page range), so the buggy algorithm cannot be expressed there and
+   we dispatch to the rewrite. *)
+let wire_recursive map ~va ~pages =
+  match Vm_map.locking map with
+  | Vm_map.Range -> wire_rewritten map ~va ~pages
+  | Vm_map.Coarse -> (
+      let lock = Vm_map.map_lock map in
+      K.Clock.lock_write lock;
+      match mark_entries_locked map ~va ~pages ~wired:true with
+      | Error _ as e ->
+          K.Clock.lock_done lock;
+          e
+      | Ok () ->
+          K.Clock.lock_set_recursive lock;
+          K.Clock.lock_write_to_read lock;
+          (* Faults below recursively read-lock the map; a memory shortage
+             makes a fault drop its own recursive read and sleep — with the
+             outer read still held.  A pageout needing the write lock on this
+             map then deadlocks the system (section 7.1). *)
+          let result = fault_range map ~va ~pages in
+          K.Clock.lock_clear_recursive lock;
+          K.Clock.lock_done lock;
+          (result :> (unit, wire_error) result))
+
 let unwire map ~va ~pages =
-  let lock = Vm_map.map_lock map in
-  K.Clock.lock_write lock;
+  let h = Vm_map.lock_range_write map ~lo:va ~hi:(va + pages) in
   ignore (mark_entries_locked map ~va ~pages ~wired:false);
   for i = 0 to pages - 1 do
     match Vm_map.lookup_entry map ~va:(va + i) with
@@ -92,11 +98,10 @@ let unwire map ~va ~pages =
                 Vm_object.unwire page
             | Some _ | None -> ())
   done;
-  K.Clock.lock_done lock
+  Vm_map.unlock_range map h
 
 let wired_page_count map =
-  let lock = Vm_map.map_lock map in
-  K.Clock.lock_read lock;
+  let h = Vm_map.lock_map_read map in
   let count =
     List.fold_left
       (fun acc e ->
@@ -108,5 +113,5 @@ let wired_page_count map =
                    (Vm_object.resident_pages e.Vm_map.e_object))))
       0 (Vm_map.entries map)
   in
-  K.Clock.lock_done lock;
+  Vm_map.unlock_range map h;
   count

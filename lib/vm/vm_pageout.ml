@@ -1,12 +1,11 @@
 module Engine = Mach_sim.Sim_engine
-module K = Mach_ksync.Ksync
 
 let reclaim_from_map map =
   let ctx = Vm_map.context map in
-  let lock = Vm_map.map_lock map in
   (* "Obtaining more memory requires a write lock on the same map"
-     (section 7.1). *)
-  K.Clock.lock_write lock;
+     (section 7.1) — the pageout scans every entry, so on a Range map
+     this is a full-range write. *)
+  let h = Vm_map.lock_map_write map in
   let victims =
     List.concat_map
       (fun e ->
@@ -42,7 +41,7 @@ let reclaim_from_map map =
       | None -> ())
     victims;
   Vm_map.bump_version map;
-  K.Clock.lock_done lock;
+  Vm_map.unlock_range map h;
   !freed
 
 type daemon = {

@@ -340,6 +340,150 @@ let test_drop_handoff_zero_draw () =
   let b = Format.asprintf "%a" Engine.pp_stats (Engine.run ~cfg:off scenario) in
   Alcotest.(check string) "byte-identical stats" a b
 
+(* ------------------------------------------------------------------ *)
+(* Range locks (lib/locks/range_lock)                                    *)
+(* ------------------------------------------------------------------ *)
+
+module RL = Mach_locks.Range_lock
+
+(* Disjoint ranges never conflict: a single thread can hold both (a
+   blocking acquire would deadlock the simulation and trip the
+   watchdog), and try_acquire distinguishes overlap from disjointness. *)
+let test_range_disjoint_nonblocking () =
+  in_sim (fun () ->
+      let l = K.Rlock.make ~name:"rdis" () in
+      let a = K.Rlock.acquire l ~lo:0 ~hi:4 RL.Write in
+      let b = K.Rlock.acquire l ~lo:8 ~hi:12 RL.Write in
+      check_int "two holders" 2 (List.length (K.Rlock.holders l));
+      check_bool "overlap refused" true
+        (K.Rlock.try_acquire l ~lo:2 ~hi:10 RL.Write = None);
+      (match K.Rlock.try_acquire l ~lo:4 ~hi:8 RL.Write with
+      | Some c -> K.Rlock.release l c
+      | None -> Alcotest.fail "disjoint try_acquire refused");
+      K.Rlock.release l a;
+      K.Rlock.release l b;
+      check_int "drained" 0 (List.length (K.Rlock.holders l)))
+
+(* Readers share an overlapping range; a writer waits for both. *)
+let test_range_read_sharing () =
+  in_sim (fun () ->
+      let l = K.Rlock.make ~name:"rshare" () in
+      let r1 = K.Rlock.acquire l ~lo:0 ~hi:8 RL.Read in
+      let r2 = K.Rlock.acquire l ~lo:4 ~hi:12 RL.Read in
+      let got = Engine.Cell.make ~name:"got" 0 in
+      let w =
+        Engine.spawn ~name:"writer" (fun () ->
+            let h = K.Rlock.acquire l ~lo:6 ~hi:7 RL.Write in
+            Engine.Cell.set got 1;
+            K.Rlock.release l h)
+      in
+      wait_until (fun () -> K.Rlock.waiting_requests l = 1);
+      check_int "writer still waiting behind two readers" 0
+        (Engine.Cell.get got);
+      K.Rlock.release l r1;
+      Engine.cycles 50;
+      check_int "writer still waiting behind one reader" 0
+        (Engine.Cell.get got);
+      K.Rlock.release l r2;
+      Engine.join w;
+      check_int "writer ran after both readers left" 1 (Engine.Cell.get got))
+
+(* An overlapping writer blocks until the holder releases. *)
+let test_range_overlap_blocks () =
+  in_sim (fun () ->
+      let l = K.Rlock.make ~name:"rblk" () in
+      let h = K.Rlock.acquire l ~lo:0 ~hi:4 RL.Write in
+      let got = Engine.Cell.make ~name:"got" 0 in
+      let t =
+        Engine.spawn ~name:"waiter" (fun () ->
+            let h2 = K.Rlock.acquire l ~lo:2 ~hi:6 RL.Write in
+            Engine.Cell.set got 1;
+            K.Rlock.release l h2)
+      in
+      wait_until (fun () -> K.Rlock.waiting_requests l = 1);
+      check_int "waiter blocked on overlap" 0 (Engine.Cell.get got);
+      K.Rlock.release l h;
+      Engine.join t;
+      check_int "waiter ran after release" 1 (Engine.Cell.get got))
+
+(* FIFO fairness: a later request must not overtake an earlier waiter it
+   conflicts with, even when the later request's range is free right
+   now.  Main holds [0,8); A wants [4,12) (blocked on main); B wants
+   [8,16) — disjoint from main's hold but overlapping A — so B must wait
+   for A, and try_acquire must refuse to barge past A too. *)
+let test_range_fifo_no_overtake () =
+  in_sim (fun () ->
+      let l = K.Rlock.make ~name:"rfifo" () in
+      let h = K.Rlock.acquire l ~lo:0 ~hi:8 RL.Write in
+      let grants = ref [] in
+      let a =
+        Engine.spawn ~name:"a" (fun () ->
+            let ha = K.Rlock.acquire l ~lo:4 ~hi:12 RL.Write in
+            grants := "a" :: !grants;
+            Engine.cycles 10;
+            K.Rlock.release l ha)
+      in
+      wait_until (fun () -> K.Rlock.waiting_requests l = 1);
+      let b =
+        Engine.spawn ~name:"b" (fun () ->
+            let hb = K.Rlock.acquire l ~lo:8 ~hi:16 RL.Write in
+            grants := "b" :: !grants;
+            K.Rlock.release l hb)
+      in
+      wait_until (fun () -> K.Rlock.waiting_requests l = 2);
+      (* [8,10) is held by nobody, but it overlaps waiter A's request:
+         granting it would let a newcomer overtake A. *)
+      check_bool "try_acquire does not barge past a waiter" true
+        (K.Rlock.try_acquire l ~lo:8 ~hi:10 RL.Write = None);
+      check_int "no waiter overtook the holder" 0 (List.length !grants);
+      K.Rlock.release l h;
+      Engine.join a;
+      Engine.join b;
+      Alcotest.(check (list string))
+        "grants in arrival order" [ "a"; "b" ] (List.rev !grants))
+
+(* Mutual exclusion under contention across seeds: overlapping writers
+   are serialized (occupancy flag), disjoint writers may interleave, and
+   no update is lost either way. *)
+let range_exclusion_scenario ~workers ~iters () =
+  let l = K.Rlock.make ~name:"rexcl" () in
+  let count = Engine.Cell.make ~name:"rcount" 0 in
+  let inside = Engine.Cell.make ~name:"rinside" 0 in
+  let ts =
+    List.init workers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "rw%d" i) (fun () ->
+            for it = 1 to iters do
+              (* Odd iterations fight over [0,4); even ones take a
+                 per-worker disjoint slice. *)
+              let lo = if it mod 2 = 1 then 0 else 16 + (4 * i) in
+              let h = K.Rlock.acquire l ~lo ~hi:(lo + 4) RL.Write in
+              if lo = 0 then begin
+                if Engine.Cell.get inside <> 0 then
+                  Engine.fatal "two writers inside an overlapping range";
+                Engine.Cell.set inside 1;
+                (* A plain read-modify-write: safe only because the
+                   overlapping range serializes us. *)
+                let v = Engine.Cell.get count in
+                Engine.cycles 5;
+                Engine.Cell.set count (v + 1);
+                Engine.Cell.set inside 0
+              end
+              else Engine.cycles 5;
+              K.Rlock.release l h
+            done))
+  in
+  List.iter Engine.join ts;
+  check_int "no lost update in the serialized range"
+    (workers * ((iters + 1) / 2))
+    (Engine.Cell.get count)
+
+let test_range_exclusion () =
+  List.iter
+    (fun seed ->
+      let cfg = Config.exploration ~cpus:4 ~seed () in
+      in_sim ~cfg (range_exclusion_scenario ~workers:4 ~iters:4))
+    [ 1; 2; 3 ]
+
 let () =
   Alcotest.run "locks"
     [
@@ -353,6 +497,19 @@ let () =
             test_brlock_read_local;
           Alcotest.test_case "complex lock over mcs" `Quick
             test_complex_over_mcs;
+        ] );
+      ( "range",
+        [
+          Alcotest.test_case "disjoint ranges do not block" `Quick
+            test_range_disjoint_nonblocking;
+          Alcotest.test_case "readers share, writer waits" `Quick
+            test_range_read_sharing;
+          Alcotest.test_case "overlap blocks until release" `Quick
+            test_range_overlap_blocks;
+          Alcotest.test_case "FIFO: no overtaking a waiter" `Quick
+            test_range_fifo_no_overtake;
+          Alcotest.test_case "exclusion under contention" `Quick
+            test_range_exclusion;
         ] );
       ( "mc",
         [

@@ -162,6 +162,71 @@ let test_preemption_bound () =
   check_bool "bound 0 explores fewer schedules" true
     (v0.Mc.stats.Mc.executions <= full.Mc.stats.Mc.executions)
 
+(* ------------------------------------------------------------------ *)
+(* Range-lock matrix at 2 cpus (experiment E16 acceptance)              *)
+(* ------------------------------------------------------------------ *)
+
+module RL = Mach_locks.Range_lock
+
+(* Conflicting cells: the scenario is fatal if both threads are ever in
+   the critical section together, so [verified] over every schedule is
+   exactly "overlap serializes". *)
+let test_range_matrix_overlap_serializes () =
+  List.iter
+    (fun (label, m1, m2) ->
+      let r =
+        Mc.check ~cpus:2 (fun () ->
+            ignore
+              (Scenarios.range_pair ~r1:(0, 8) ~m1 ~r2:(4, 12) ~m2
+                 ~expect_parallel:false ()))
+      in
+      check_bool (label ^ ": complete") true r.Mc.complete;
+      check_bool (label ^ ": verified") true r.Mc.verified)
+    [
+      ("overlap W/W", RL.Write, RL.Write);
+      ("overlap R/W", RL.Read, RL.Write);
+      ("overlap W/R", RL.Write, RL.Read);
+    ]
+
+(* Compatible cells: no schedule may be fatal AND some schedule must
+   witness both threads holding at once.  The witness ref lives outside
+   the scenario closure, so it accumulates across every execution the
+   checker runs. *)
+let test_range_matrix_disjoint_interleaves () =
+  List.iter
+    (fun (label, r1, m1, r2, m2) ->
+      let witnessed = ref false in
+      let r =
+        Mc.check ~cpus:2 (fun () ->
+            if Scenarios.range_pair ~r1 ~m1 ~r2 ~m2 ~expect_parallel:true ()
+            then witnessed := true)
+      in
+      check_bool (label ^ ": complete") true r.Mc.complete;
+      check_bool (label ^ ": verified") true r.Mc.verified;
+      check_bool (label ^ ": some schedule interleaves the holds") true
+        !witnessed)
+    [
+      ("disjoint W/W", (0, 8), RL.Write, (8, 16), RL.Write);
+      ("overlap R/R", (0, 8), RL.Read, (4, 12), RL.Read);
+    ]
+
+(* The map itself, model-checked: fault vs deallocate on a Range map,
+   overlapping (fault may lose the race but must never see a stale
+   entry) and disjoint (both must succeed on every schedule). *)
+let test_range_map_fault_vs_deallocate () =
+  List.iter
+    (fun overlapping ->
+      let r =
+        Mc.check ~cpus:2 (Scenarios.vm_fault_vs_deallocate ~overlapping)
+      in
+      let label =
+        if overlapping then "overlapping fault/deallocate"
+        else "disjoint fault/deallocate"
+      in
+      check_bool (label ^ ": complete") true r.Mc.complete;
+      check_bool (label ^ ": verified") true r.Mc.verified)
+    [ false; true ]
+
 let test_faults_excluded () =
   let cfg =
     {
@@ -197,6 +262,15 @@ let () =
             test_golden_counterexample;
           Alcotest.test_case "golden trace replays byte-identically" `Quick
             test_golden_replays;
+        ] );
+      ( "range matrix",
+        [
+          Alcotest.test_case "overlapping ranges serialize" `Quick
+            test_range_matrix_overlap_serializes;
+          Alcotest.test_case "compatible ranges interleave" `Quick
+            test_range_matrix_disjoint_interleaves;
+          Alcotest.test_case "fault vs deallocate on a Range map" `Quick
+            test_range_map_fault_vs_deallocate;
         ] );
       ( "mechanics",
         [

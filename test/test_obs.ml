@@ -574,6 +574,41 @@ let test_spans_reset_between_runs () =
     (summarize v1 = summarize v2);
   check_int "no spans left open across runs" 0 v2.Span.v_open
 
+(* vm_allocate_at must bracket every exit path — including the
+   Error `Overlap early return — in its Vm span: after successes and
+   failures on both map disciplines, the site shows all calls closed
+   and the view has nothing left open. *)
+let test_alloc_at_span_pairing () =
+  let module Vm_map = Mach_vm.Vm_map in
+  let cfg = { Config.default with Config.cpus = 2; seed = 3 } in
+  ignore
+    (Engine.run ~cfg (fun () ->
+         List.iter
+           (fun locking ->
+             let ctx = Vm_map.make_context ~pages:16 () in
+             let map = Vm_map.create ~name:"spanmap" ~locking ctx in
+             (match Vm_map.vm_allocate_at map ~va:0x2000 ~size:2 with
+             | Ok _ -> ()
+             | Error `Overlap -> Engine.fatal "unexpected overlap");
+             (match Vm_map.vm_allocate_at map ~va:0x2001 ~size:2 with
+             | Error `Overlap -> ()
+             | Ok _ -> Engine.fatal "overlap admitted");
+             Vm_map.release map)
+           [ Vm_map.Coarse; Vm_map.Range ]));
+  match Span.last () with
+  | None -> Alcotest.fail "no span view latched"
+  | Some v -> (
+      check_int "no spans left open" 0 v.Span.v_open;
+      match
+        List.find_opt
+          (fun s -> s.Span.s_label = "vm:alloc_at:spanmap")
+          v.Span.v_sites
+      with
+      | Some site ->
+          check_int "all four alloc_at calls closed their spans" 4
+            site.Span.s_spans
+      | None -> Alcotest.fail "no vm:alloc_at:spanmap site")
+
 (* The section 7 three-processor interrupt deadlock (lib/chaos): the
    post-mortem must carry the open-span dump naming the held lock. *)
 let test_section7_deadlock_flight_dump () =
@@ -690,6 +725,8 @@ let () =
             test_blocked_by_edges_pinned;
           test_case "live tables reset between runs (no leak)" `Quick
             test_spans_reset_between_runs;
+          test_case "vm_allocate_at spans pair on every path" `Quick
+            test_alloc_at_span_pairing;
           test_case "section 7 deadlock report carries the span dump" `Quick
             test_section7_deadlock_flight_dump;
           test_case "drop accounting splits spans from instants" `Quick

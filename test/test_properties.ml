@@ -338,6 +338,117 @@ let wakeup_no_waiters_is_zero ev =
   in_sim (fun () -> K.Ev.thread_wakeup (abs ev + 1) = 0)
 
 (* ------------------------------------------------------------------ *)
+(* VM map vs an interval model, and Coarse/Range lockstep               *)
+(* ------------------------------------------------------------------ *)
+
+module Vm_map = Mach_vm.Vm_map
+module Vm_fault = Mach_vm.Vm_fault
+
+let spans m = List.map (fun e -> (e.Vm_map.va_start, e.Vm_map.va_end)) (Vm_map.entries m)
+
+(* Random allocate / allocate_at / deallocate sequences against a
+   reference model: entries stay sorted and disjoint, match the model
+   exactly, and the naive address allocator (next_va) hands out exactly
+   the model's addresses.  Run for both locking disciplines. *)
+let map_conformance locking script =
+  in_sim (fun () ->
+      let ctx = Vm_map.make_context ~pages:64 () in
+      let map = Vm_map.create ~locking ctx in
+      let model = ref [] (* (va, size), sorted by va *) in
+      let model_next = ref 0x1000 in
+      let model_overlap va size =
+        List.exists (fun (v, s) -> va < v + s && v < va + size) !model
+      in
+      let model_insert va size =
+        model := List.sort compare ((va, size) :: !model)
+      in
+      let entries_agree () =
+        spans map = List.map (fun (v, s) -> (v, v + s)) !model
+      in
+      let sorted_disjoint () =
+        let rec ok = function
+          | (s1, e1) :: ((s2, _) :: _ as rest) ->
+              s1 < e1 && e1 <= s2 && ok rest
+          | [ (s1, e1) ] -> s1 < e1
+          | [] -> true
+        in
+        ok (spans map)
+      in
+      let step choice =
+        match choice mod 4 with
+        | 0 ->
+            let size = 1 + (choice mod 3) in
+            let va = Vm_map.vm_allocate map ~size in
+            let ok = va = !model_next && not (model_overlap va size) in
+            model_insert va size;
+            model_next := va + size;
+            ok
+        | 1 -> (
+            let size = 1 + (choice mod 3) in
+            let va = 0x1000 + (choice mod 24) in
+            match Vm_map.vm_allocate_at map ~va ~size with
+            | Ok got ->
+                let ok = got = va && not (model_overlap va size) in
+                model_insert va size;
+                if va + size > !model_next then model_next := va + size;
+                ok
+            | Error `Overlap -> model_overlap va size)
+        | 2 -> (
+            match !model with
+            | (va, _) :: rest -> (
+                match Vm_map.vm_deallocate map ~va with
+                | Ok () ->
+                    model := rest;
+                    true
+                | Error `No_entry -> false)
+            | [] -> Vm_map.vm_deallocate map ~va:0x9999 = Error `No_entry)
+        | _ ->
+            Vm_map.size map
+            = List.fold_left (fun acc (_, s) -> acc + s) 0 !model
+      in
+      let ok =
+        List.for_all
+          (fun c -> step c && sorted_disjoint () && entries_agree ())
+          script
+      in
+      Vm_map.release map;
+      ok)
+
+(* Lockstep: the same op script on a Coarse map and a Range map must
+   produce identical results and identical entry lists — the range-lock
+   conversion may not change the map's sequential semantics. *)
+let map_lockstep script =
+  in_sim (fun () ->
+      let cm = Vm_map.create ~locking:Vm_map.Coarse (Vm_map.make_context ~pages:64 ()) in
+      let rm = Vm_map.create ~locking:Vm_map.Range (Vm_map.make_context ~pages:64 ()) in
+      let agree () = spans cm = spans rm in
+      let step choice =
+        match choice mod 5 with
+        | 0 ->
+            let size = 1 + (choice mod 3) in
+            Vm_map.vm_allocate cm ~size = Vm_map.vm_allocate rm ~size
+        | 1 ->
+            let size = 1 + (choice mod 3) in
+            let va = 0x1000 + (choice mod 24) in
+            Vm_map.vm_allocate_at cm ~va ~size
+            = Vm_map.vm_allocate_at rm ~va ~size
+        | 2 ->
+            let va = 0x1000 + (choice mod 32) in
+            Vm_map.vm_deallocate cm ~va = Vm_map.vm_deallocate rm ~va
+        | 3 -> (
+            let va = 0x1000 + (choice mod 32) in
+            match (Vm_fault.fault cm ~va, Vm_fault.fault rm ~va) with
+            | Ok _, Ok _ -> true
+            | Error a, Error b -> a = b
+            | _ -> false)
+        | _ -> Vm_map.size cm = Vm_map.size rm
+      in
+      let ok = List.for_all (fun c -> step c && agree ()) script in
+      Vm_map.release cm;
+      Vm_map.release rm;
+      ok)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -362,6 +473,11 @@ let qcheck_cases =
       prop "fresh events unique" QCheck.(int_range 1 100) fresh_events_unique;
       prop "wakeup with no waiters wakes none" QCheck.int
         wakeup_no_waiters_is_zero;
+      prop "vm_map (Coarse) conforms to interval model" (script_gen 40)
+        (map_conformance Vm_map.Coarse);
+      prop "vm_map (Range) conforms to interval model" (script_gen 40)
+        (map_conformance Vm_map.Range);
+      prop "vm_map lockstep: Range == Coarse" (script_gen 40) map_lockstep;
     ]
 
 let () = Alcotest.run "properties" [ ("models", qcheck_cases) ]

@@ -419,6 +419,137 @@ let test_wire_pins_pages () =
       check_int "now reclaimable" 3 (Vm.Vm_pageout.reclaim_from_map map);
       Vm.Vm_map.release map)
 
+(* ------------------------------------------------------------------ *)
+(* Range-locked maps (experiment E16)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Scenarios = Mach_kernel.Scenarios
+
+let test_range_allocate_fault_deallocate () =
+  in_sim (fun () ->
+      let ctx = mk_ctx () in
+      let map = Vm.Vm_map.create ~locking:Vm.Vm_map.Range ctx in
+      check_bool "range mode" true (Vm.Vm_map.locking map = Vm.Vm_map.Range);
+      let va = Vm.Vm_map.vm_allocate map ~size:8 in
+      (match Vm.Vm_fault.fault map ~va with
+      | Ok ppn -> (
+          match Vm.Pmap.translate (Vm.Vm_map.pmap map) ~va with
+          | Some e -> check_int "mapped" ppn e.Vm.Tlb.ppn
+          | None -> Alcotest.fail "no translation after fault")
+      | Error _ -> Alcotest.fail "fault failed");
+      (match Vm.Vm_map.vm_allocate_at map ~va ~size:2 with
+      | Error `Overlap -> ()
+      | Ok _ -> Alcotest.fail "overlapping allocate_at admitted");
+      let free_before = Vm.Vm_page.free_count ctx.Vm.Vm_map.pool in
+      (match Vm.Vm_map.vm_deallocate map ~va with
+      | Ok () -> ()
+      | Error `No_entry -> Alcotest.fail "deallocate failed");
+      check_int "page freed" (free_before + 1)
+        (Vm.Vm_page.free_count ctx.Vm.Vm_map.pool);
+      check_bool "translation gone" true
+        (Vm.Pmap.translate (Vm.Vm_map.pmap map) ~va = None);
+      Vm.Vm_map.release map)
+
+let test_range_wire_pins_pages () =
+  in_sim (fun () ->
+      let ctx = mk_ctx ~pages:8 () in
+      let map = Vm.Vm_map.create ~locking:Vm.Vm_map.Range ctx in
+      let va = Vm.Vm_map.vm_allocate map ~size:3 in
+      (* wire_recursive dispatches to the rewrite under Range locking:
+         recursion is a property of the coarse map lock. *)
+      (match Vm.Vm_pageable.wire_recursive map ~va ~pages:3 with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "wire failed");
+      check_int "three wired pages" 3 (Vm.Vm_pageable.wired_page_count map);
+      check_int "nothing reclaimable" 0 (Vm.Vm_pageout.reclaim_from_map map);
+      Vm.Vm_pageable.unwire map ~va ~pages:3;
+      check_int "unwired" 0 (Vm.Vm_pageable.wired_page_count map);
+      Vm.Vm_map.release map)
+
+let test_range_storm_explored () =
+  (* Disjoint per-thread slices of one Range map, allocate_at / fault /
+     deallocate in a loop, across seeds: no deadlock, no panic, and the
+     map invariants hold on every schedule (the scenario is fatal on any
+     unexpected outcome). *)
+  let v =
+    Explore.run ~cpus:4
+      ~seeds:(List.init 20 (fun i -> i + 1))
+      (fun () ->
+        Scenarios.vm_fault_storm ~locking:Vm.Vm_map.Range ~threads:4
+          ~pages_per_thread:2 ~rounds:2 ())
+  in
+  check_bool "storm completes on all schedules" true (Explore.all_completed v)
+
+let test_range_deadlock_names_ranges () =
+  (* The waits-for integration: an ABBA deadlock across two ranges of
+     one lock is reported with the exact [lo,hi) of each range. *)
+  let cfg =
+    {
+      Mach_sim.Sim_config.default with
+      Mach_sim.Sim_config.cpus = 2;
+      track_waits = true;
+    }
+  in
+  match Engine.run_outcome ~cfg Scenarios.range_abba with
+  | Engine.Deadlocked (Engine.Sleep_deadlock, report) ->
+      check_bool "cycle names the range lock" true
+        (contains report "range lock abba.range");
+      check_bool "cycle names the exact range" true
+        (contains report "[0,0x4)")
+  | _ -> Alcotest.fail "range ABBA must sleep-deadlock"
+
+(* ------------------------------------------------------------------ *)
+(* Terminate/release pairing and unconditional underflow detection      *)
+(* ------------------------------------------------------------------ *)
+
+(* A full map lifecycle — including release with live entries, the
+   terminate-then-release path — is reference-balanced: with checking
+   disabled the only trap still armed is the refcount underflow one, so
+   completing cleanly proves no double release hides in the pairing. *)
+let test_terminate_release_pairing_balanced () =
+  K.Ref.set_checking false;
+  let outcome =
+    Engine.run_outcome (fun () ->
+        List.iter
+          (fun locking ->
+            let ctx = mk_ctx () in
+            let map = Vm.Vm_map.create ~locking ctx in
+            let va = Vm.Vm_map.vm_allocate map ~size:4 in
+            ignore (Vm.Vm_fault.fault map ~va);
+            (match Vm.Vm_map.vm_deallocate map ~va with
+            | Ok () -> ()
+            | Error `No_entry -> Engine.fatal "deallocate failed");
+            let va2 = Vm.Vm_map.vm_allocate map ~size:2 in
+            ignore (Vm.Vm_fault.fault map ~va:va2);
+            (* live entry at release: destroy_entry terminates and
+               releases the object exactly once *)
+            Vm.Vm_map.release map)
+          [ Vm.Vm_map.Coarse; Vm.Vm_map.Range ])
+  in
+  K.Ref.set_checking true;
+  match outcome with
+  | Engine.Completed _ -> ()
+  | Engine.Panicked msg -> Alcotest.failf "unbalanced pairing: %s" msg
+  | _ -> Alcotest.fail "map lifecycle did not complete"
+
+(* The regression half: an actual double release must still panic with
+   checking disabled — underflow detection is not debug-only. *)
+let test_double_release_trapped_unconditionally () =
+  K.Ref.set_checking false;
+  let outcome =
+    Engine.run_outcome (fun () ->
+        let pool = Vm.Vm_page.create ~pages:4 () in
+        let obj = Vm.Vm_object.create ~pool ~size:2 () in
+        Vm.Vm_object.terminate obj;
+        Vm.Vm_object.release obj;
+        Vm.Vm_object.release obj)
+  in
+  K.Ref.set_checking true;
+  match outcome with
+  | Engine.Panicked msg ->
+      check_bool "underflow trapped" true (contains msg "double free")
+  | _ -> Alcotest.fail "double release must panic even with checking off"
+
 let () =
   Alcotest.run "vm"
     [
@@ -471,5 +602,23 @@ let () =
           Alcotest.test_case "rewrite never deadlocks" `Slow
             test_rewritten_wire_never_deadlocks;
           Alcotest.test_case "wire pins pages" `Quick test_wire_pins_pages;
+        ] );
+      ( "range-locked maps (E16)",
+        [
+          Alcotest.test_case "allocate/fault/deallocate under Range" `Quick
+            test_range_allocate_fault_deallocate;
+          Alcotest.test_case "wire pins pages under Range" `Quick
+            test_range_wire_pins_pages;
+          Alcotest.test_case "fault storm explored" `Slow
+            test_range_storm_explored;
+          Alcotest.test_case "deadlock report names exact ranges" `Quick
+            test_range_deadlock_names_ranges;
+        ] );
+      ( "refcount pairing",
+        [
+          Alcotest.test_case "terminate/release pairing balanced" `Quick
+            test_terminate_release_pairing_balanced;
+          Alcotest.test_case "double release trapped with checking off" `Quick
+            test_double_release_trapped_unconditionally;
         ] );
     ]
