@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke report-smoke chaos-smoke mc-smoke vm-smoke clean
+.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke report-smoke chaos-smoke mc-smoke vm-smoke cache-smoke clean
 
 all: build
 
@@ -89,6 +89,7 @@ chaos-smoke:
 	grep -q "waits-for cycle" /tmp/machsim-chaos.out
 	grep -q "never arrived" /tmp/machsim-chaos.out
 	grep -q "lost handoff" /tmp/machsim-chaos.out
+	grep -q "scache lost writer handoff" /tmp/machsim-chaos.out
 	dune exec bench/main.exe -- E13
 	test -f BENCH_chaos.json
 	@echo "chaos-smoke passed"
@@ -120,6 +121,20 @@ vm-smoke:
 	dune exec bench/main.exe -- E16
 	test -f BENCH_vm.json
 	@echo "vm-smoke passed"
+
+# Page-cache smoke (<60s): model-check the 2-cpu scache handoff matrix
+# (reader-vs-writer and writer-vs-writer serialize on every schedule,
+# two readers overlap on some schedule), reproduce the lost writer
+# handoff under drop-handoff injection, then regenerate the E19
+# read-mostly lookup sweep.
+cache-smoke:
+	dune exec bin/machsim.exe -- mc scache-rw --cpus 2 --no-baseline | grep -q "VERIFIED"
+	dune exec bin/machsim.exe -- mc scache-ww --cpus 2 --no-baseline | grep -q "VERIFIED"
+	dune exec bin/machsim.exe -- mc scache-rr --cpus 2 --no-baseline | grep -q "VERIFIED"
+	dune exec bin/machsim.exe -- chaos --seeds 10 | grep -q "scache lost writer handoff"
+	dune exec bench/main.exe -- E19
+	test -f BENCH_cache.json
+	@echo "cache-smoke passed"
 
 clean:
 	dune clean

@@ -1619,6 +1619,136 @@ end
 
 (* ================================================================== *)
 
+(* ================================================================== *)
+(* E19: scache page cache: read-mostly lookup storm                     *)
+(* ================================================================== *)
+
+module E19 = struct
+  (* Read-mostly page lookups against one vm_cache under three index
+     locks: the scache per-cpu refcount RW lock, the brlock, and a flat
+     mutex (every lookup takes the one simple lock — the baseline the
+     scache protocol exists to beat).  Writes (evict + refill) are rare
+     and staggered so the workload matches the cache's design point:
+     under the RW disciplines readers share the lock, under the mutex
+     they convoy. *)
+  let sweep = [ 2; 8; 16; 32; 64 ]
+
+  let locking_name = function
+    | Vm.Vm_cache.Scache -> "scache"
+    | Vm.Vm_cache.Brlock_rw -> "brlock"
+    | Vm.Vm_cache.Mutex -> "mutex"
+
+  let storm locking cpus =
+    sim_run ~cpus (fun () ->
+        Scenarios.vm_cache_ops ~locking ~threads:cpus ())
+
+  let run () =
+    section ~id:"E19" ~title:"scache page cache: read-mostly lookup storm"
+      ~claim:
+        "a page-cache index behind one mutex convoys every lookup; the \
+         scache protocol counts readers in per-cpu refcount slots so \
+         read-mostly lookups proceed in parallel, and the write-side \
+         sweep only charges the rare evict/fill (s.5)";
+    let tbl = Hashtbl.create 16 in
+    let disciplines =
+      [ Vm.Vm_cache.Scache; Vm.Vm_cache.Brlock_rw; Vm.Vm_cache.Mutex ]
+    in
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun locking ->
+              let s = storm locking cpus in
+              let name = locking_name locking in
+              Hashtbl.replace tbl (name, cpus) s;
+              [
+                i cpus;
+                name;
+                i s.Engine.makespan;
+                i s.Engine.bus_transactions;
+                i s.Engine.atomic_ops;
+              ])
+            disciplines)
+        sweep
+    in
+    table
+      ~header:[ "cpus"; "locking"; "makespan"; "bus-txns"; "atomics" ]
+      rows;
+    let speedup name cpus =
+      let m = Hashtbl.find tbl ("mutex", cpus) in
+      let s = Hashtbl.find tbl (name, cpus) in
+      float_of_int m.Engine.makespan /. float_of_int s.Engine.makespan
+    in
+    printf "\nread-throughput speedup over the mutex cache (makespan ratio):\n";
+    table
+      ~header:[ "cpus"; "mutex/scache"; "mutex/brlock" ]
+      (List.map
+         (fun c -> [ i c; f2 (speedup "scache" c); f2 (speedup "brlock" c) ])
+         sweep);
+    (* Crossover: smallest cpu count from which scache stays ahead. *)
+    let beats c = speedup "scache" c > 1.0 in
+    let crossover =
+      let rec scan = function
+        | [] -> None
+        | c :: rest ->
+            if beats c && List.for_all beats rest then Some c else scan rest
+      in
+      scan sweep
+    in
+    (match crossover with
+    | Some c -> printf "scache beats the mutex cache from %d cpus up\n" c
+    | None -> printf "scache never beats the mutex cache in this sweep\n");
+    let storm_json =
+      List.concat_map
+        (fun cpus ->
+          List.map
+            (fun locking ->
+              let name = locking_name locking in
+              let s = Hashtbl.find tbl (name, cpus) in
+              Obs_json.Obj
+                [
+                  ("locking", Obs_json.String name);
+                  ("cpus", Obs_json.Int cpus);
+                  ("makespan", Obs_json.Int s.Engine.makespan);
+                  ("bus_txns", Obs_json.Int s.Engine.bus_transactions);
+                  ("atomics", Obs_json.Int s.Engine.atomic_ops);
+                ])
+            disciplines)
+        sweep
+    in
+    let speedup_json =
+      List.map
+        (fun c ->
+          Obs_json.Obj
+            [
+              ("cpus", Obs_json.Int c);
+              ("scache_speedup", Obs_json.Float (speedup "scache" c));
+              ("brlock_speedup", Obs_json.Float (speedup "brlock" c));
+            ])
+        sweep
+    in
+    let out = "BENCH_cache.json" in
+    let oc = open_out out in
+    output_string oc
+      (Obs_json.to_string
+         (Obs_json.Obj
+            [
+              ( "E19",
+                Obs_json.Obj
+                  [
+                    ("storm", Obs_json.List storm_json);
+                    ("speedup", Obs_json.List speedup_json);
+                    ( "crossover_cpus",
+                      match crossover with
+                      | None -> Obs_json.Null
+                      | Some c -> Obs_json.Int c );
+                  ] );
+            ]));
+    output_char oc '\n';
+    close_out oc;
+    printf "\npage-cache tables written to %s\n" out
+end
+
 let experiments =
   [
     ("N0", N0.run);
@@ -1639,6 +1769,7 @@ let experiments =
     ("E15", E15.run);
     ("E16", E16.run);
     ("E18", E18.run);
+    ("E19", E19.run);
     ("X1", X1.run);
   ]
 

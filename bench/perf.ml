@@ -243,6 +243,36 @@ let vm_row () =
       ("range_speedup", Obs_json.Float speedup);
     ]
 
+(* Same deterministic-guard idea for the scache page cache (E19): the
+   mutex/scache makespan ratio of the 64-cpu read-mostly lookup storm is
+   pure simulated time, so the gate can pin the read-side win of the
+   per-cpu refcount RW lock.  A change that reserializes readers (say, a
+   read path falling back to the write-side sweep) collapses the ratio
+   and trips the gate with zero host noise. *)
+let cache_storm locking =
+  let cfg = { (Config.bench ~cpus:64 ()) with Config.seed = 3 } in
+  let stats =
+    Engine.run ~cfg (fun () ->
+        Mach_kernel.Scenarios.vm_cache_ops ~locking ~threads:64 ())
+  in
+  stats.Engine.makespan
+
+let cache_row () =
+  let mutex = cache_storm Mach_vm.Vm_cache.Mutex in
+  let scache = cache_storm Mach_vm.Vm_cache.Scache in
+  let speedup = float_of_int mutex /. float_of_int scache in
+  Printf.printf
+    "cache: 64-cpu lookup storm  mutex makespan=%d  scache makespan=%d  \
+     read_speedup=%.2fx (deterministic)\n%!"
+    mutex scache speedup;
+  Obs_json.Obj
+    [
+      ("scenario", Obs_json.String "vm-cache-lookup-storm-64cpu");
+      ("mutex_makespan", Obs_json.Int mutex);
+      ("scache_makespan", Obs_json.Int scache);
+      ("read_speedup", Obs_json.Float speedup);
+    ]
+
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   let engine_only = Array.exists (fun a -> a = "--engine-only") Sys.argv in
@@ -256,7 +286,9 @@ let () =
   (* The vm row is deterministic (simulated time), so it is cheap enough
      to emit unconditionally — including --engine-only, which is what
      the CI perf gate runs. *)
-  let fields = [ ("engine", engine_json); ("vm", vm_row ()) ] in
+  let fields =
+    [ ("engine", engine_json); ("vm", vm_row ()); ("cache", cache_row ()) ]
+  in
   let fields =
     if engine_only then fields
     else fields @ [ ("sweep", sweep ~seeds ~domains) ]

@@ -161,5 +161,43 @@ let () =
             end
             else false)
   in
-  if ratio_failed || spans_failed || vm_failed then exit 1
+  (* The scache page-cache read path (E19): cache.read_speedup is the
+     deterministic mutex/scache makespan ratio of the 64-cpu lookup
+     storm — same scheme as the vm row, same older-reference opt-out. *)
+  let cache_failed =
+    let cache_field doc path field =
+      match Obs_json.member "cache" doc with
+      | None -> None
+      | Some cache -> (
+          match number (Obs_json.member field cache) with
+          | Some f when f > 0. -> Some f
+          | Some _ -> die "%s: cache.%s must be positive" path field
+          | None -> None)
+    in
+    match
+      cache_field (json_of_file !reference) !reference "min_read_speedup"
+    with
+    | None -> false
+    | Some floor -> (
+        match cache_field (json_of_file !perf) !perf "read_speedup" with
+        | None -> die "%s: cache.read_speedup missing" !perf
+        | Some m ->
+            let m = if !inject then m /. 2. else m in
+            Printf.printf
+              "perf-gate: cache read path: cache.read_speedup measured=%.2f  \
+               floor=%.2f%s\n"
+              m floor
+              (if !inject then "  [injected 2x slowdown]" else "");
+            if m < floor then begin
+              Printf.printf
+                "perf-gate: FAIL: the scache page cache no longer beats the \
+                 mutex cache by at least %.1fx at 64 cpus; the read side has \
+                 reserialized (the number is deterministic simulated time, \
+                 not host noise)\n"
+                floor;
+              true
+            end
+            else false)
+  in
+  if ratio_failed || spans_failed || vm_failed || cache_failed then exit 1
   else Printf.printf "perf-gate: OK\n"

@@ -204,6 +204,27 @@ let scenarios : (string * (string * (unit -> unit))) list =
     ( "mcs-handoff",
       ( "workers contending an MCS queue lock (explicit successor handoff)",
         fun () -> Mach_chaos.Chaos_scenarios.mcs_handoff () ) );
+    ( "scache-handoff",
+      ( "workers contending the scache writer side (FIFO grant handoff)",
+        fun () -> Mach_chaos.Chaos_scenarios.scache_handoff () ) );
+    ( "scache-rw",
+      ( "scache matrix: reader vs writer on one scache RW lock (must \
+         serialize)",
+        Scenarios.scache_rw ) );
+    ( "scache-ww",
+      ( "scache matrix: writer vs writer through the FIFO ticket gate \
+         (must serialize)",
+        Scenarios.scache_ww ) );
+    ( "scache-rr",
+      ( "scache matrix: two readers on their own refcount slots (may \
+         interleave)",
+        Scenarios.scache_rr ) );
+    ( "vm-cache",
+      ( "read-mostly page-lookup storm on a scache-locked page cache",
+        fun () -> Scenarios.vm_cache_ops () ) );
+    ( "vm-cache-mutex",
+      ( "the same storm with the cache index under one flat mutex",
+        fun () -> Scenarios.vm_cache_ops ~locking:Vm.Vm_cache.Mutex () ) );
     ( "queue-locks",
       ( "one contended critical section per queue-lock protocol \
          (ticket, MCS, Anderson) plus a big-reader read burst",
@@ -706,6 +727,27 @@ let chaos_cmd =
     | None ->
         ok := false;
         Format.printf "no lost handoff within %d seeds@." seeds);
+    (* 2c. Same hazard on the scache RW lock: the writer release grants
+       the next FIFO ticket by a single store; dropping it strands the
+       queued writer mid-sweep protocol. *)
+    Format.printf "@.== scache lost writer handoff (drop-handoff injection) ==@.";
+    (match
+       Chaos.find_first_failure ~cpus ~max_seeds:seeds ~faults:droph
+         (fun () -> Cs.scache_handoff ())
+     with
+    | Some r when contains r.Chaos.report "lost handoff" ->
+        Format.printf "seed %d: %s@.%s@." r.Chaos.seed
+          (Chaos.detection_name r.Chaos.detection)
+          r.Chaos.report
+    | Some r ->
+        ok := false;
+        Format.printf "seed %d: %s (no lost handoff diagnosed)@.%s@."
+          r.Chaos.seed
+          (Chaos.detection_name r.Chaos.detection)
+          r.Chaos.report
+    | None ->
+        ok := false;
+        Format.printf "no scache lost handoff within %d seeds@." seeds);
     (* 3. Fault-mix minimization: start from every class at once and
        shrink while the first failing seed keeps failing. *)
     Format.printf "@.== first-failure minimization ==@.";

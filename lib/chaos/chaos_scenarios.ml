@@ -84,10 +84,31 @@ let mcs_handoff ?(workers = 3) () =
   in
   List.iter Engine.join ts
 
+(* The scache writer release is an explicit handoff too: the grant store
+   that admits the next queued writer ticket.  Workers contend the
+   writer side through Simple_lock (which supplies the waits-for edges),
+   so a dropped grant strands the successor spinning on a lock nobody
+   holds — the analyzer's "lost handoff", now on the scache sweep. *)
+let scache_handoff ?(workers = 3) () =
+  let l = K.Slock.make ~name:"scache" ~proto:K.Locks.scache_writer () in
+  let c = Engine.Cell.make ~name:"scache.count" 0 in
+  let ts =
+    List.init workers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "worker%d" i) (fun () ->
+            for _ = 1 to 3 do
+              K.Slock.lock l;
+              ignore (Engine.Cell.fetch_and_add c 1);
+              Engine.cycles 30;
+              K.Slock.unlock l
+            done))
+  in
+  List.iter Engine.join ts
+
 let all =
   [
     ("interrupt-deadlock", interrupt_deadlock);
     ("lost-wakeup-handoff", lost_wakeup_handoff);
     ("wakeup-herd", fun () -> wakeup_herd ());
     ("mcs-handoff", fun () -> mcs_handoff ());
+    ("scache-handoff", fun () -> scache_handoff ());
   ]

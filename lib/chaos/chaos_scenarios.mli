@@ -17,5 +17,10 @@ val mcs_handoff : ?workers:int -> unit -> unit
 (** Workers contending an MCS queue lock; hangs only when the
     [Drop_handoff] fault class strands a waiter (lost handoff). *)
 
+val scache_handoff : ?workers:int -> unit -> unit
+(** Workers contending the scache writer side (FIFO ticket gate); hangs
+    only when [Drop_handoff] drops the release's grant store, stranding
+    the next queued writer (lost handoff on the scache sweep). *)
+
 val all : (string * (unit -> unit)) list
 (** Name-keyed registry for the CLI and the benchmarks. *)

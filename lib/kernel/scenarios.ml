@@ -425,3 +425,98 @@ let vm_fault_vs_deallocate ~overlapping () =
   | None when not overlapping -> Engine.fatal "pair: disjoint entry vanished"
   | _ -> ());
   Vm_map.release map
+
+module Vm_page = Mach_vm.Vm_page
+module Vm_cache = Mach_vm.Vm_cache
+
+(* One cell of the 2-cpu scache matrix: two threads take the given sides
+   of one Scache_rwlock and meet in the critical section if the protocol
+   admits them.  Same shape as [range_pair]: the occupancy count is an
+   engine cell so the model checker has choice points inside the
+   critical section; conflicting sides held concurrently are fatal, and
+   the returned flag witnesses that some schedule interleaved the holds
+   (reader parallelism). *)
+let scache_pair ~m1 ~m2 ~expect_parallel () =
+  let l = K.Locks.Scache.make ~name:"matrix.scache" in
+  let active = Engine.Cell.make ~name:"matrix.active" 0 in
+  let witnessed = ref false in
+  let side name m =
+    Engine.spawn ~name (fun () ->
+        let release =
+          match m with
+          | `Read ->
+              let slot = K.Locks.Scache.read_lock l in
+              fun () -> K.Locks.Scache.read_unlock l ~slot
+          | `Write ->
+              ignore (K.Locks.Scache.write_lock l);
+              fun () -> K.Locks.Scache.write_unlock l
+        in
+        if Engine.Cell.fetch_and_add active 1 > 0 then begin
+          witnessed := true;
+          if not expect_parallel then
+            Engine.fatal
+              "scache matrix: conflicting sides held concurrently"
+        end;
+        Engine.cycles 5;
+        ignore (Engine.Cell.fetch_and_add active (-1));
+        release ())
+  in
+  let a = side "side-a" m1 in
+  let b = side "side-b" m2 in
+  Engine.join a;
+  Engine.join b;
+  !witnessed
+
+let scache_rw () =
+  ignore (scache_pair ~m1:`Read ~m2:`Write ~expect_parallel:false ())
+
+let scache_ww () =
+  ignore (scache_pair ~m1:`Write ~m2:`Write ~expect_parallel:false ())
+
+let scache_rr () =
+  ignore (scache_pair ~m1:`Read ~m2:`Read ~expect_parallel:true ())
+
+(* The E19 workload: a page cache warmed to full residency, then
+   [threads] workers doing read-mostly lookups with an occasional
+   evict-and-refill (1 in [write_every] ops takes the write side).
+   Under the scache index lock the lookups touch only the caller's own
+   refcount slot; under the mutex baseline every lookup serializes. *)
+let vm_cache_ops ?(locking = Vm_cache.Scache) ?threads ?(pages = 64)
+    ?(ops = 64) ?(write_every = 32) () =
+  let threads =
+    match threads with Some t -> t | None -> Engine.cpu_count ()
+  in
+  let pool = Vm_page.create ~name:"cache.pool" ~pages:(pages + 4) () in
+  let cache = Vm_cache.create ~name:"cache" ~locking ~pool ~size:pages () in
+  for offset = 0 to pages - 1 do
+    match Vm_cache.lookup_or_fill cache ~offset with
+    | Ok _ -> ()
+    | Error _ -> Engine.fatal "vm_cache: warm fill failed"
+  done;
+  let ts =
+    List.init threads (fun w ->
+        Engine.spawn ~name:(Printf.sprintf "cache%d" w) (fun () ->
+            for i = 1 to ops do
+              (* Staggered writes (no convoy): each worker evicts and
+                 refills only its own stripe page; everyone reads the
+                 whole cache.  A read that races an eviction just counts
+                 the miss — the owner refills it — so the read path
+                 never escalates to the write side. *)
+              if (i + (w * 7)) mod write_every = 0 then begin
+                let offset = w mod pages in
+                ignore (Vm_cache.evict cache ~offset);
+                match Vm_cache.lookup_or_fill cache ~offset with
+                | Ok _ -> ()
+                | Error `No_memory -> Engine.fatal "vm_cache: out of memory"
+                | Error `Terminating -> Engine.fatal "vm_cache: terminating"
+              end
+              else
+                match
+                  Vm_cache.lookup cache ~offset:(((w * 13) + (i * 7)) mod pages)
+                with
+                | Some _ -> Engine.cycles 2
+                | None -> () (* raced an eviction; owner will refill *)
+            done))
+  in
+  List.iter Engine.join ts;
+  Vm_cache.terminate cache

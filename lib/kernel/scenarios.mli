@@ -94,3 +94,40 @@ val vm_fault_vs_deallocate : overlapping:bool -> unit -> unit
 (** Model-checkable pair on a [Range] map: one thread faults region A
     while another deallocates region B (= A when [overlapping]).  Fatal
     on any outcome the range-locked map must not produce. *)
+
+(** {1 scache RW lock and the page cache (experiment E19)} *)
+
+val scache_pair :
+  m1:[ `Read | `Write ] ->
+  m2:[ `Read | `Write ] ->
+  expect_parallel:bool ->
+  unit ->
+  bool
+(** One cell of the 2-cpu scache matrix: two threads take the given
+    sides of one {!Mach_locks.Scache_rwlock} and meet in the critical
+    section if the protocol admits them.  Fatal if conflicting sides are
+    held concurrently (unless [expect_parallel]); returns whether this
+    schedule interleaved the holds, so a model checker can both refute
+    reader/writer concurrency and witness reader parallelism. *)
+
+val scache_rw : unit -> unit
+(** [scache_pair] reader vs writer; fatal iff the lock ever admits both. *)
+
+val scache_ww : unit -> unit
+(** [scache_pair] writer vs writer; fatal iff the sweep admits both. *)
+
+val scache_rr : unit -> unit
+(** [scache_pair] reader vs reader; never fatal (readers share). *)
+
+val vm_cache_ops :
+  ?locking:Mach_vm.Vm_cache.locking ->
+  ?threads:int ->
+  ?pages:int ->
+  ?ops:int ->
+  ?write_every:int ->
+  unit ->
+  unit
+(** The E19 workload: a fully-warmed page cache, then [threads] (default
+    [cpu_count]) workers doing [ops] read-mostly lookups each, with 1 in
+    [write_every] operations evicting and refilling its page (the write
+    side).  Run inside a simulation; makespan is read from run stats. *)

@@ -16,7 +16,20 @@
    the matching decrement MUST hit the same slot even if the thread has
    migrated between lock and unlock (kernels disable preemption here; the
    simulator cannot).  [read_lock] therefore returns the slot index as a
-   token that [read_unlock] takes back; [with_read] hides the plumbing. *)
+   token that [read_unlock] takes back; [with_read] hides the plumbing.
+
+   Writer fairness: the writer flag is a bare test-and-set, so with two
+   or more writers admission is a race the same loser can keep losing —
+   and every inter-write gap admits a fresh reader herd the loser must
+   then sweep, so its wait grows without bound even though each
+   individual sweep terminates.  A FIFO writer-pending gate fixes this:
+   a writer that loses the fast path takes a ticket and waits its turn,
+   and while any writer is queued ([pending] > 0) new readers hold off
+   before counting themselves.  The gate lives in ordinary OCaml
+   [Atomic]s, not simulated cells: it is fairness bookkeeping (the
+   analogue of the mcs qnode pool index), engaged only on the contended
+   multi-writer path, so single-writer workloads execute a byte-identical
+   cell-op sequence (the golden determinism rows pin this). *)
 
 module Obs_metrics = Mach_obs.Obs_metrics
 module Obs_span = Mach_obs.Obs_span
@@ -25,7 +38,15 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
   (* Cycles a writer spends sweeping reader slots, across all brlocks. *)
   let h_sweep = Obs_metrics.histogram "lock.brlock.sweep_spins"
 
-  type t = { bname : string; readers : M.Cell.t array; writer : M.Cell.t }
+  type t = {
+    bname : string;
+    readers : M.Cell.t array;
+    writer : M.Cell.t;
+    (* FIFO writer-pending gate (fairness bookkeeping; see header). *)
+    wq_ticket : int Atomic.t;
+    wq_grant : int Atomic.t;
+    pending : int Atomic.t; (* writers queued but not yet holding *)
+  }
 
   let proto_name = "brlock"
 
@@ -42,19 +63,32 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
         Array.init n_slots (fun i ->
             M.Cell.make ~name:(Printf.sprintf "%s.r%d" name i) 0);
       writer = M.Cell.make ~name:(name ^ ".w") 0;
+      wq_ticket = Atomic.make 0;
+      wq_grant = Atomic.make 0;
+      pending = Atomic.make 0;
     }
 
   let read_lock t =
     let slot = M.current_cpu () mod n_slots in
     let mine = t.readers.(slot) in
     let rec go () =
+      (* Hold off while writers are queued so a reader herd cannot keep
+         overtaking a waiting writer (the loop body never runs in the
+         single-writer fast-path case: [pending] stays 0). *)
+      let rec defer () =
+        if Atomic.get t.pending > 0 then begin
+          M.spin_pause ();
+          defer ()
+        end
+      in
+      defer ();
       ignore (M.Cell.fetch_and_add mine 1);
       if M.Cell.get t.writer = 0 then slot
       else begin
         (* Back out and let the writer's sweep drain; retry after. *)
         ignore (M.Cell.fetch_and_add mine (-1));
         let rec wait () =
-          if M.Cell.get t.writer <> 0 then begin
+          if M.Cell.get t.writer <> 0 || Atomic.get t.pending > 0 then begin
             M.spin_pause ();
             wait ()
           end
@@ -77,16 +111,46 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
 
   let write_lock t =
     (* Take the writer flag (writers exclude each other on it), then
-       sweep every per-cpu slot until it drains. *)
-    let rec flag spins =
-      if M.Cell.get t.writer = 0 && M.Cell.test_and_set t.writer = 0 then
-        spins
-      else begin
-        M.spin_pause ();
-        flag (spins + 1)
-      end
+       sweep every per-cpu slot until it drains.  Fast path: no writer
+       queued and the flag is free — one test-and-set, exactly the
+       pre-gate sequence.  Contended path: queue FIFO on the ticket
+       gate; readers defer while [pending] > 0, so the herd cannot
+       overtake the queued writers. *)
+    let contended_flag () =
+      let my = Atomic.fetch_and_add t.wq_ticket 1 in
+      Atomic.incr t.pending;
+      let rec turn spins =
+        if Atomic.get t.wq_grant = my then spins
+        else begin
+          M.spin_pause ();
+          turn (spins + 1)
+        end
+      in
+      let rec flag spins =
+        if M.Cell.get t.writer = 0 && M.Cell.test_and_set t.writer = 0 then
+          spins
+        else begin
+          M.spin_pause ();
+          flag (spins + 1)
+        end
+      in
+      let s = flag (turn 1) in
+      (* Flag in hand: pass the turn to the next queued writer (it will
+         contend the flag at our release) and leave the reader gate up
+         if — and only if — someone is still queued behind us. *)
+      Atomic.incr t.wq_grant;
+      Atomic.decr t.pending;
+      s
     in
-    let spins = ref (flag 0) in
+    let spins =
+      ref
+        (if
+           Atomic.get t.pending = 0
+           && M.Cell.get t.writer = 0
+           && M.Cell.test_and_set t.writer = 0
+         then 0
+         else contended_flag ())
+    in
     let sweep = ref 0 in
     for i = 0 to n_slots - 1 do
       while M.Cell.get t.readers.(i) <> 0 do
@@ -139,7 +203,8 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
     let acquire = write_lock
 
     let try_acquire t =
-      M.Cell.get t.writer = 0
+      Atomic.get t.pending = 0
+      && M.Cell.get t.writer = 0
       && M.Cell.test_and_set t.writer = 0
       && begin
            let clear = ref true in

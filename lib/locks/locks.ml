@@ -10,6 +10,7 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
   module Mcs = Mcs_lock.Make (M)
   module Anderson = Anderson_lock.Make (M)
   module Brlock = Brlock.Make (M)
+  module Scache = Scache_rwlock.Make (M)
 
   let pack (type a) (module P : Lock_proto.S with type t = a) =
     {
@@ -22,6 +23,7 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
   let mcs = pack (module Mcs)
   let anderson = pack (module Anderson)
   let brlock_writer = pack (module Brlock.Writer)
+  let scache_writer = pack (module Scache.Writer)
 
   (* The queue-lock mutexes, in table order. *)
   let all = [ ticket; mcs; anderson ]
@@ -29,5 +31,5 @@ module Make (M : Mach_core.Machine_intf.MACHINE) = struct
   let factory_of_string s =
     List.find_opt
       (fun f -> String.equal f.Lock_proto.fname s)
-      (all @ [ brlock_writer ])
+      (all @ [ brlock_writer; scache_writer ])
 end

@@ -1,0 +1,303 @@
+(* scache-style distributed readers/writer lock.
+
+   The verified-betrfs scache slice (SNIPPETS.md; ROADMAP item 4) ships
+   the production form of the paper's dual-refcount memory objects:
+   per-cpu atomic refcount slots, an [ExcLockPending] writer sweep that
+   waits for every slot to drain, and an explicit acquisition state
+   machine.  This module generalizes our {!Brlock} into that protocol.
+
+   Acquisition states (the names are the scache protocol's own):
+
+     reader:  ReadPending  --inc own slot-->  ReadCounted
+              ReadCounted  --exc is Free-->   Obtained
+              ReadCounted  --exc raised-->    back out (dec), wait, retry
+     writer:  spin on the FIFO ticket gate until granted
+              Free --CAS--> ExcLockPending    (announce; new readers defer)
+              sweep every slot to zero        (drain ReadCounted readers)
+              ExcLockPending --> ExcLockObtained
+
+   Two deliberate differences from {!Brlock}:
+
+   - Writers queue on a ticket/grant cell pair instead of racing a
+     test-and-set flag, so writer admission is FIFO and release is an
+     explicit handoff store to the next ticket — which makes it a fault
+     surface: [M.handoff_fault] can drop the grant store when a
+     successor is queued, stranding it in a local spin on a lock nobody
+     holds (the "lost handoff" the deadlock analyzer reports).
+
+   - The writer announce is a compare-and-swap [Free -> ExcLockPending]
+     that can only be attempted by the granted ticket holder, so it
+     failing is a protocol-invariant violation ([M.fatal]), not a retry
+     — exactly the kind of claim the lib/mc matrix checks exhaustively.
+
+   Slot identity follows brlock: the slot is chosen by the cpu at
+   read-lock time and returned as a token so the matching decrement hits
+   the same slot even if the thread migrated (kernels disable preemption
+   here; the simulator cannot). *)
+
+module Obs_metrics = Mach_obs.Obs_metrics
+module Obs_span = Mach_obs.Obs_span
+module Waits_for = Mach_core.Waits_for
+
+module Make (M : Mach_core.Machine_intf.MACHINE) = struct
+  (* Cycles a writer spends sweeping reader slots, across all scache
+     locks of this machine. *)
+  let h_sweep = Obs_metrics.histogram "lock.scache.sweep_spins"
+  let m_handoffs = Obs_metrics.counter "lock.scache.handoffs"
+  let m_dropped = Obs_metrics.counter "lock.scache.handoffs_dropped"
+
+  (* The [exc] cell holds the writer-side state machine. *)
+  let free = 0
+  let exc_lock_pending = 1
+  let exc_lock_obtained = 2
+
+  type t = {
+    sname : string;
+    id : int;
+    refcounts : M.Cell.t array; (* per-cpu reader refcount slots *)
+    exc : M.Cell.t; (* Free / ExcLockPending / ExcLockObtained *)
+    wticket : M.Cell.t; (* next writer ticket to hand out *)
+    wgrant : M.Cell.t; (* ticket currently admitted to [exc] *)
+    mutable holder_ticket : int; (* granted ticket, acquire -> release *)
+  }
+
+  let proto_name = "scache"
+
+  (* Same ceiling and mod-slot policy as brlock: same-slot sharing is a
+     contention cost, never an error. *)
+  let n_slots = 64
+  let next_id = Atomic.make 0
+
+  let make ~name =
+    {
+      sname = name;
+      id = Atomic.fetch_and_add next_id 1;
+      refcounts =
+        Array.init n_slots (fun i ->
+            M.Cell.make ~name:(Printf.sprintf "%s.rc%d" name i) 0);
+      exc = M.Cell.make ~name:(name ^ ".exc") free;
+      wticket = M.Cell.make ~name:(name ^ ".wticket") 0;
+      wgrant = M.Cell.make ~name:(name ^ ".wgrant") 0;
+      holder_ticket = 0;
+    }
+
+  (* Raw-path waits-for edges.  When the writer side is instantiated
+     under Simple_lock (the {!Writer} LOCK_PROTO below), Simple_lock
+     reports its own Slock edges, so the protocol stays silent there;
+     the raw read/write API used directly (vm_cache, scenarios) reports
+     here instead.  The uid offset keeps these nodes disjoint from
+     Simple_lock's uid counter. *)
+  let wf_uid_base = 1_000_000
+  let wf_res t = Waits_for.Slock { uid = wf_uid_base + t.id; name = t.sname }
+
+  let wf_wait t =
+    if Waits_for.tracking () then
+      Waits_for.note_wait
+        ~tid:(M.thread_id (M.self ()))
+        ~tname:(M.thread_name (M.self ()))
+        (wf_res t)
+
+  let wf_wait_done t =
+    if Waits_for.tracking () then
+      Waits_for.note_wait_done ~tid:(M.thread_id (M.self ())) (wf_res t)
+
+  let wf_hold t =
+    if Waits_for.tracking () then
+      Waits_for.note_hold
+        ~tid:(M.thread_id (M.self ()))
+        ~tname:(M.thread_name (M.self ()))
+        (wf_res t)
+
+  let wf_release t =
+    if Waits_for.tracking () then
+      Waits_for.note_release ~tid:(M.thread_id (M.self ())) (wf_res t)
+
+  (* Reader acquisition: ReadPending -> ReadCounted -> Obtained, with
+     the ReadCounted -> back-out transition when a writer has announced.
+     Readers defer during both ExcLockPending (so the sweep terminates:
+     each reader pulses its slot at most once per write) and
+     ExcLockObtained (the write is in progress). *)
+  type read_phase = Read_pending | Read_counted | Obtained of int
+
+  let read_lock_raw t ~wf =
+    let slot = M.current_cpu () mod n_slots in
+    let mine = t.refcounts.(slot) in
+    let rec step phase =
+      match phase with
+      | Read_pending ->
+          ignore (M.Cell.fetch_and_add mine 1);
+          step Read_counted
+      | Read_counted ->
+          if M.Cell.get t.exc = free then step (Obtained slot)
+          else begin
+            (* Back out and let the writer's sweep drain; wait for the
+               exclusive side to clear before re-entering ReadPending. *)
+            ignore (M.Cell.fetch_and_add mine (-1));
+            if wf then wf_wait t;
+            let rec wait () =
+              if M.Cell.get t.exc <> free then begin
+                M.spin_pause ();
+                wait ()
+              end
+            in
+            wait ();
+            if wf then wf_wait_done t;
+            step Read_pending
+          end
+      | Obtained slot -> slot
+    in
+    let slot = step Read_pending in
+    if wf then wf_hold t;
+    (* Like brlock, the raw lock sits outside Simple_lock's
+       instrumentation and opens its own hold spans; read and write
+       sides are distinct sites because their costs differ by design. *)
+    if Obs_span.enabled () then
+      Obs_span.enter Obs_span.Lock (t.sname ^ ".read");
+    slot
+
+  let read_lock t = read_lock_raw t ~wf:true
+
+  let read_unlock t ~slot =
+    Obs_span.exit Obs_span.Lock (t.sname ^ ".read");
+    wf_release t;
+    ignore (M.Cell.fetch_and_add t.refcounts.(slot) (-1))
+
+  let write_lock_raw t ~wf =
+    (* FIFO admission: take a ticket, spin until granted. *)
+    let my = M.Cell.fetch_and_add t.wticket 1 in
+    if wf then wf_wait t;
+    let rec gate spins =
+      if M.Cell.get t.wgrant = my then spins
+      else begin
+        M.spin_pause ();
+        gate (spins + 1)
+      end
+    in
+    let spins = ref (gate 0) in
+    (* Announce: Free -> ExcLockPending.  Only the granted ticket holder
+       reaches this CAS, and the previous writer restored Free before
+       granting, so failure is a protocol violation, not contention. *)
+    if
+      not (M.Cell.compare_and_swap t.exc ~expected:free ~desired:exc_lock_pending)
+    then
+      M.fatal
+        (Printf.sprintf
+           "scache %s: exc not Free at granted ticket %d (protocol invariant)"
+           t.sname my);
+    (* Sweep: wait for every refcount slot to drain.  New readers see
+       ExcLockPending and back out, so each slot's count is monotonically
+       pulsing toward zero. *)
+    let sweep = ref 0 in
+    for i = 0 to n_slots - 1 do
+      while M.Cell.get t.refcounts.(i) <> 0 do
+        incr sweep;
+        M.spin_pause ()
+      done
+    done;
+    M.Cell.set t.exc exc_lock_obtained;
+    t.holder_ticket <- my;
+    spins := !spins + !sweep;
+    Obs_metrics.observe ~cpu:(M.current_cpu ()) h_sweep !sweep;
+    if wf then begin
+      wf_wait_done t;
+      wf_hold t
+    end;
+    if Obs_span.enabled () then
+      Obs_span.enter Obs_span.Lock (t.sname ^ ".write");
+    !spins
+
+  let write_lock t = write_lock_raw t ~wf:true
+
+  let write_unlock_raw t ~wf =
+    Obs_span.exit Obs_span.Lock (t.sname ^ ".write");
+    if wf then wf_release t;
+    let next = t.holder_ticket + 1 in
+    M.Cell.set t.exc free;
+    (* Release is an explicit handoff: grant the next ticket.  When a
+       successor is already queued the store is a droppable handoff
+       (chaos: the successor spins on [wgrant] which nobody will ever
+       advance — a lost handoff). *)
+    let successor_queued = M.Cell.get t.wticket <> next in
+    if successor_queued && M.handoff_fault () then
+      Obs_metrics.incr ~cpu:(M.current_cpu ()) m_dropped
+    else begin
+      if successor_queued then
+        Obs_metrics.incr ~cpu:(M.current_cpu ()) m_handoffs;
+      M.Cell.set t.wgrant next
+    end
+
+  let write_unlock t = write_unlock_raw t ~wf:true
+
+  let with_read t f =
+    let slot = read_lock t in
+    match f () with
+    | v ->
+        read_unlock t ~slot;
+        v
+    | exception e ->
+        read_unlock t ~slot;
+        raise e
+
+  let with_write t f =
+    ignore (write_lock t);
+    match f () with
+    | v ->
+        write_unlock t;
+        v
+    | exception e ->
+        write_unlock t;
+        raise e
+
+  let is_locked t =
+    M.Cell.get t.exc <> free
+    || M.Cell.get t.wticket <> M.Cell.get t.wgrant
+    || Array.exists (fun r -> M.Cell.get r <> 0) t.refcounts
+
+  (* The writer side alone satisfies {!Mach_core.Lock_proto.S}, so
+     Simple_lock/Complex_lock can instantiate the protocol.  Simple_lock
+     supplies the waits-for edges on this path. *)
+  module Writer = struct
+    type nonrec t = t
+
+    let proto_name = proto_name
+    let make ~name = make ~name
+    let acquire t = write_lock_raw t ~wf:false
+
+    (* Non-barging: only succeeds when no ticket is outstanding, by
+       taking the front ticket with a CAS.  A failed sweep backs out by
+       restoring Free and granting our own (now burned) ticket. *)
+    let try_acquire t =
+      let g = M.Cell.get t.wgrant in
+      M.Cell.get t.wticket = g
+      && M.Cell.compare_and_swap t.wticket ~expected:g ~desired:(g + 1)
+      && begin
+           if
+             not
+               (M.Cell.compare_and_swap t.exc ~expected:free
+                  ~desired:exc_lock_pending)
+           then
+             M.fatal
+               (Printf.sprintf
+                  "scache %s: exc not Free at granted ticket %d (protocol \
+                   invariant)"
+                  t.sname g);
+           let clear = ref true in
+           for i = 0 to n_slots - 1 do
+             if M.Cell.get t.refcounts.(i) <> 0 then clear := false
+           done;
+           if !clear then begin
+             M.Cell.set t.exc exc_lock_obtained;
+             t.holder_ticket <- g;
+             true
+           end
+           else begin
+             M.Cell.set t.exc free;
+             M.Cell.set t.wgrant (g + 1);
+             false
+           end
+         end
+
+    let release t = write_unlock_raw t ~wf:false
+    let is_locked = is_locked
+  end
+end

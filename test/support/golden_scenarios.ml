@@ -122,6 +122,54 @@ let brlock_readers () =
   let ts = List.init cpus (fun i -> Engine.spawn (worker i)) in
   List.iter Engine.join ts
 
+(* The brlock read-mostly workload over the scache RW lock: pins the
+   explicit ReadPending/ReadCounted acquisition loop and the FIFO
+   writer-gate handoff cell ops. *)
+let scache_readers () =
+  let module S = K.Locks.Scache in
+  let l = S.make ~name:"golden-sc" in
+  let d = Engine.Cell.make ~name:"d" 0 in
+  let cpus = Engine.cpu_count () in
+  let worker i () =
+    for j = 1 to 20 do
+      if i = 0 && j mod 8 = 0 then
+        S.with_write l (fun () -> ignore (Engine.Cell.fetch_and_add d 1))
+      else
+        S.with_read l (fun () ->
+            ignore (Engine.Cell.get d);
+            Engine.cycles 10)
+    done
+  in
+  let ts = List.init cpus (fun i -> Engine.spawn (worker i)) in
+  List.iter Engine.join ts
+
+(* scache under the Complex_lock: the RW state machine rides the scache
+   writer as its interlock protocol. *)
+let cx_scache () =
+  let l =
+    K.Clock.make ~name:"golden-cx-sc" ~proto:K.Locks.scache_writer
+      ~can_sleep:false ()
+  in
+  let d = Engine.Cell.make ~name:"d" 0 in
+  let cpus = Engine.cpu_count () in
+  let worker i () =
+    for j = 1 to 12 do
+      if i = 0 && j mod 6 = 0 then begin
+        K.Clock.lock_write l;
+        ignore (Engine.Cell.fetch_and_add d 1);
+        K.Clock.lock_done l
+      end
+      else begin
+        K.Clock.lock_read l;
+        ignore (Engine.Cell.get d);
+        Engine.cycles 10;
+        K.Clock.lock_done l
+      end
+    done
+  in
+  let ts = List.init cpus (fun i -> Engine.spawn (worker i)) in
+  List.iter Engine.join ts
+
 let scenarios : (string * (unit -> unit)) list =
   [
     ("contention", contention);
@@ -131,6 +179,9 @@ let scenarios : (string * (unit -> unit)) list =
     ("contention-mcs", queue_contention K.Locks.mcs);
     ("contention-anderson", queue_contention K.Locks.anderson);
     ("brlock-readers", brlock_readers);
+    ("contention-scache", queue_contention K.Locks.scache_writer);
+    ("scache-readers", scache_readers);
+    ("cx-scache", cx_scache);
   ]
 
 (* The configuration matrix exercises every scheduler policy (and thus
@@ -155,6 +206,14 @@ let matrix : (string * int * int * Config.policy) list =
     ("contention-anderson", 4, 7, Config.Round_robin);
     ("brlock-readers", 8, 3, Config.Timed);
     ("brlock-readers", 4, 5, Config.Random_policy);
+    (* scache rows: under Simple_lock (contention-scache), raw RW
+       (scache-readers) and Complex_lock (cx-scache). *)
+    ("contention-scache", 8, 3, Config.Timed);
+    ("contention-scache", 4, 11, Config.Random_policy);
+    ("scache-readers", 8, 3, Config.Timed);
+    ("scache-readers", 4, 5, Config.Random_policy);
+    ("cx-scache", 4, 7, Config.Round_robin);
+    ("cx-scache", 8, 3, Config.Timed);
   ]
 
 let line (name, cpus, seed, policy) =

@@ -107,6 +107,44 @@ let test_lost_wakeup_detected () =
       | None -> Alcotest.fail "no chaos stats")
   | None -> Alcotest.fail "no lost wakeup detected within 20 seeds"
 
+(* The scache writer release is a droppable grant store (the FIFO
+   ticket handoff): under drop-handoff injection the queued writer spins
+   on a grant that never lands and the analyzer must call it a lost
+   handoff — the same search [machsim chaos] runs in its scache
+   section, pinned here with a reproducibility check. *)
+let test_scache_lost_handoff_detected () =
+  let faults = Fault.mix ~intensity:2 [ Fault.Drop_handoff ] in
+  match
+    Chaos.find_first_failure ~cpus:3 ~max_seeds:20 ~faults (fun () ->
+        Cs.scache_handoff ())
+  with
+  | Some r ->
+      check_bool "diagnosed as lost handoff" true
+        (contains r.Chaos.report "lost handoff");
+      let r' =
+        Chaos.run_one ~cpus:3 ~seed:r.Chaos.seed ~faults (fun () ->
+            Cs.scache_handoff ())
+      in
+      check_bool "reproducible detection" true
+        (r'.Chaos.detection = r.Chaos.detection);
+      check_bool "reproducible diagnosis" true
+        (contains r'.Chaos.report "lost handoff");
+      (match Engine.last_chaos () with
+      | Some c ->
+          check_bool "handoff drops counted" true
+            (c.Engine.dropped_handoffs > 0)
+      | None -> Alcotest.fail "no chaos stats")
+  | None -> Alcotest.fail "no scache lost handoff within 20 seeds"
+
+let test_scache_handoff_clean_without_faults () =
+  let v =
+    Mach_sim.Sim_explore.run ~cpus:3
+      ~seeds:(List.init 25 (fun i -> i + 1))
+      (fun () -> Cs.scache_handoff ())
+  in
+  check_bool "scache handoff never hangs uninjected" true
+    (Mach_sim.Sim_explore.all_completed v)
+
 let test_handoff_clean_without_faults () =
   let v =
     Mach_sim.Sim_explore.run ~cpus:4
@@ -169,6 +207,10 @@ let () =
             test_lost_wakeup_detected;
           Alcotest.test_case "handoff clean uninjected" `Quick
             test_handoff_clean_without_faults;
+          Alcotest.test_case "scache lost writer handoff" `Quick
+            test_scache_lost_handoff_detected;
+          Alcotest.test_case "scache handoff clean uninjected" `Quick
+            test_scache_handoff_clean_without_faults;
         ] );
       ( "injection",
         [

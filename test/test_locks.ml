@@ -12,7 +12,13 @@ module Mc = Mach_mc.Mc
 open Test_support
 
 let mutex_factories =
-  [ K.Locks.ticket; K.Locks.mcs; K.Locks.anderson; K.Locks.brlock_writer ]
+  [
+    K.Locks.ticket;
+    K.Locks.mcs;
+    K.Locks.anderson;
+    K.Locks.brlock_writer;
+    K.Locks.scache_writer;
+  ]
 
 let factory_name = Lock_proto.name
 
@@ -341,6 +347,202 @@ let test_drop_handoff_zero_draw () =
   Alcotest.(check string) "byte-identical stats" a b
 
 (* ------------------------------------------------------------------ *)
+(* scache RW lock (lib/locks/scache_rwlock)                              *)
+(* ------------------------------------------------------------------ *)
+
+module Scenarios = Mach_kernel.Scenarios
+
+(* Writers keep two cells equal; readers snapshot both under the read
+   side.  Any torn pair proves a writer ran inside a read-side section
+   (the sweep failed to drain a counted reader). *)
+let scache_scenario ~readers ~writers ~iters () =
+  let module S = K.Locks.Scache in
+  let l = S.make ~name:"sc" in
+  let a = Engine.Cell.make ~name:"a" 0 in
+  let b = Engine.Cell.make ~name:"b" 0 in
+  let rs =
+    List.init readers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "r%d" i) (fun () ->
+            for _ = 1 to iters do
+              S.with_read l (fun () ->
+                  let x = Engine.Cell.get a in
+                  Engine.cycles 3;
+                  let y = Engine.Cell.get b in
+                  if x <> y then Engine.fatal "torn read under scache read side")
+            done))
+  in
+  let ws =
+    List.init writers (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "wr%d" i) (fun () ->
+            for _ = 1 to iters do
+              S.with_write l (fun () ->
+                  let v = Engine.Cell.get a + 1 in
+                  Engine.Cell.set a v;
+                  Engine.cycles 3;
+                  Engine.Cell.set b v)
+            done))
+  in
+  List.iter Engine.join rs;
+  List.iter Engine.join ws;
+  check_int "every write landed" (writers * iters) (Engine.Cell.get a);
+  check_bool "drained" false (S.is_locked l)
+
+let test_scache_exclusion () =
+  List.iter
+    (fun seed ->
+      let cfg = Config.exploration ~cpus:4 ~seed () in
+      in_sim ~cfg (scache_scenario ~readers:3 ~writers:2 ~iters:5))
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive model checking: the scache handoff matrix at 2 cpus        *)
+(* ------------------------------------------------------------------ *)
+
+(* Reader vs writer: the ReadCounted->back-out transition and the
+   ExcLockPending sweep must never admit both sides at once, on ANY
+   schedule (the occupancy cell makes a violation fatal). *)
+let test_mc_scache_rw () =
+  let r = Mc.check ~cpus:2 ~mode:Mc.Dpor Scenarios.scache_rw in
+  check_bool "complete" true r.Mc.complete;
+  check_bool "verified" true r.Mc.verified;
+  check_bool "explored more than one schedule" true
+    (r.Mc.stats.Mc.executions > 1)
+
+(* Writer vs writer: the FIFO ticket gate plus the Free->ExcLockPending
+   CAS must serialize every schedule (the CAS invariant fataling is part
+   of what is being checked). *)
+let test_mc_scache_ww () =
+  let r = Mc.check ~cpus:2 ~mode:Mc.Dpor Scenarios.scache_ww in
+  check_bool "complete" true r.Mc.complete;
+  check_bool "verified" true r.Mc.verified;
+  check_bool "explored more than one schedule" true
+    (r.Mc.stats.Mc.executions > 1)
+
+(* Reader vs reader: no schedule may fail, and at least one schedule
+   must witness both readers inside simultaneously — per-cpu refcount
+   slots do not serialize the read side.  The witness accumulates across
+   executions (any one execution may happen to serialize). *)
+let test_mc_scache_rr () =
+  let witnessed = ref false in
+  let r =
+    Mc.check ~cpus:2 ~mode:Mc.Dpor (fun () ->
+        if Scenarios.scache_pair ~m1:`Read ~m2:`Read ~expect_parallel:true ()
+        then witnessed := true)
+  in
+  check_bool "complete" true r.Mc.complete;
+  check_bool "verified" true r.Mc.verified;
+  check_bool "some schedule interleaved the two readers" true !witnessed
+
+(* ------------------------------------------------------------------ *)
+(* Brlock writer starvation: the FIFO writer-pending gate                *)
+(* ------------------------------------------------------------------ *)
+
+(* A greedy writer in a tight re-acquire loop plus a herd of readers,
+   against one victim writer that wants the lock exactly once.  Without
+   the pending gate the victim must win an unfair test-and-set race
+   against the greedy writer while fresh readers slip in at every
+   release; its overtake count (acquisitions completed while it waits)
+   grows with the workload.  With the gate the victim enqueues, readers
+   hold off, and the greedy writer falls in line behind it: only
+   operations already in flight (plus at most one fast-path barge) can
+   finish first. *)
+let starvation_overtakes ~seed =
+  let cfg = Config.exploration ~cpus:6 ~seed () in
+  in_sim ~cfg (fun () ->
+      let module B = K.Locks.Brlock in
+      let l = B.make ~name:"starve" in
+      let ops = Engine.Cell.make ~name:"ops" 0 in
+      let victim_done = Engine.Cell.make ~name:"vdone" 0 in
+      let greedy =
+        Engine.spawn ~name:"greedy" (fun () ->
+            while Engine.Cell.get victim_done = 0 do
+              B.with_write l (fun () ->
+                  ignore (Engine.Cell.fetch_and_add ops 1);
+                  Engine.cycles 5)
+            done)
+      in
+      let readers =
+        List.init 4 (fun i ->
+            Engine.spawn ~name:(Printf.sprintf "r%d" i) (fun () ->
+                while Engine.Cell.get victim_done = 0 do
+                  B.with_read l (fun () ->
+                      ignore (Engine.Cell.fetch_and_add ops 1);
+                      Engine.cycles 2)
+                done))
+      in
+      let overtakes = ref 0 in
+      let victim =
+        Engine.spawn ~name:"victim" (fun () ->
+            (* Let the loop establish itself first. *)
+            Engine.cycles 400;
+            let before = Engine.Cell.get ops in
+            ignore (B.write_lock l);
+            overtakes := Engine.Cell.get ops - before;
+            B.write_unlock l;
+            Engine.Cell.set victim_done 1)
+      in
+      Engine.join victim;
+      Engine.join greedy;
+      List.iter Engine.join readers;
+      !overtakes)
+
+(* In-flight bound: greedy writer + 4 readers + one barge.  The old
+   tas-race brlock blows far past this on these seeds (dozens of
+   overtakes); the FIFO gate keeps every seed under it. *)
+let test_brlock_writer_no_starvation () =
+  List.iter
+    (fun seed ->
+      let n = starvation_overtakes ~seed in
+      if n > 6 then
+        Alcotest.failf "seed %d: %d acquisitions overtook the waiting writer"
+          seed n)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: dropped scache grant -> lost handoff on the writer gate        *)
+(* ------------------------------------------------------------------ *)
+
+let test_scache_drop_handoff_detected () =
+  let faults =
+    { Config.no_faults with Config.drop_handoff = 1 (* every handoff *) }
+  in
+  let cfg =
+    {
+      (Config.exploration ~cpus:3 ~seed:5 ()) with
+      Config.faults;
+      track_waits = true;
+      watchdog_steps = 30_000;
+    }
+  in
+  match
+    Engine.run_outcome ~cfg (fun () ->
+        Mach_chaos.Chaos_scenarios.scache_handoff ~workers:3 ())
+  with
+  | Engine.Deadlocked (Engine.Spin_deadlock, report) ->
+      check_bool "report names the lost handoff" true
+        (contains report "lost handoff");
+      let chaos = Option.get (Engine.last_chaos ()) in
+      check_bool "handoff drops counted" true
+        (chaos.Engine.dropped_handoffs > 0)
+  | Engine.Deadlocked (Engine.Sleep_deadlock, _) ->
+      Alcotest.fail "expected a spin deadlock, got a sleep deadlock"
+  | Engine.Completed _ -> Alcotest.fail "expected a deadlock, ran clean"
+  | Engine.Panicked msg -> Alcotest.failf "panic: %s" msg
+  | Engine.Hit_step_limit -> Alcotest.fail "hit step limit"
+
+(* Zero-draw identity for the scache handoff site: with the class
+   disabled, the release-path hook must not consume chaos RNG. *)
+let test_scache_drop_handoff_zero_draw () =
+  let scenario () = Mach_chaos.Chaos_scenarios.scache_handoff ~workers:3 () in
+  let base = Config.exploration ~cpus:3 ~seed:11 () in
+  let off =
+    { base with Config.faults = { Config.no_faults with Config.drop_wakeup = 0 } }
+  in
+  let a = Format.asprintf "%a" Engine.pp_stats (Engine.run ~cfg:base scenario) in
+  let b = Format.asprintf "%a" Engine.pp_stats (Engine.run ~cfg:off scenario) in
+  Alcotest.(check string) "byte-identical stats" a b
+
+(* ------------------------------------------------------------------ *)
 (* Range locks (lib/locks/range_lock)                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -495,6 +697,9 @@ let () =
           Alcotest.test_case "brlock exclusion" `Quick test_brlock_exclusion;
           Alcotest.test_case "brlock reads are bus-quiet" `Quick
             test_brlock_read_local;
+          Alcotest.test_case "brlock writer never starves" `Quick
+            test_brlock_writer_no_starvation;
+          Alcotest.test_case "scache exclusion" `Quick test_scache_exclusion;
           Alcotest.test_case "complex lock over mcs" `Quick
             test_complex_over_mcs;
         ] );
@@ -515,6 +720,12 @@ let () =
         [
           Alcotest.test_case "mcs handoff exhaustive at 2 cpus" `Quick
             test_mc_mcs_handoff;
+          Alcotest.test_case "scache reader/writer serializes (all schedules)"
+            `Quick test_mc_scache_rw;
+          Alcotest.test_case "scache writer/writer serializes (all schedules)"
+            `Quick test_mc_scache_ww;
+          Alcotest.test_case "scache readers interleave (some schedule)"
+            `Quick test_mc_scache_rr;
         ] );
       ( "chaos",
         [
@@ -522,5 +733,9 @@ let () =
             test_drop_handoff_detected;
           Alcotest.test_case "disabled class draws nothing" `Quick
             test_drop_handoff_zero_draw;
+          Alcotest.test_case "dropped scache grant diagnosed" `Quick
+            test_scache_drop_handoff_detected;
+          Alcotest.test_case "scache drop disabled draws nothing" `Quick
+            test_scache_drop_handoff_zero_draw;
         ] );
     ]

@@ -449,6 +449,132 @@ let map_lockstep script =
       ok)
 
 (* ------------------------------------------------------------------ *)
+(* Scache vs Brlock vs a sequential RW-lock model, in lockstep          *)
+(* ------------------------------------------------------------------ *)
+
+(* One op script drives both distributed RW locks and a plain
+   {readers; writer} model; every observable must agree after every op.
+   Single-threaded, so only non-blocking transitions are generated (a
+   read under our own write side would spin forever).  The try-write
+   probe exercises both protocols' non-barging try paths: it must
+   succeed exactly when the model says the lock is entirely free. *)
+let rwlock_lockstep script =
+  in_sim (fun () ->
+      let module S = K.Locks.Scache in
+      let module B = K.Locks.Brlock in
+      let sc = S.make ~name:"ls.sc" in
+      let br = B.make ~name:"ls.br" in
+      let readers = ref [] (* (scache slot, brlock slot) tokens *) in
+      let writer = ref false in
+      List.for_all
+        (fun choice ->
+          let ops = ref [] in
+          let op f = ops := f :: !ops in
+          if not !writer then
+            op (fun () ->
+                let s = S.read_lock sc in
+                let b = B.read_lock br in
+                readers := (s, b) :: !readers);
+          (match !readers with
+          | (s, b) :: rest when not !writer ->
+              op (fun () ->
+                  S.read_unlock sc ~slot:s;
+                  B.read_unlock br ~slot:b;
+                  readers := rest)
+          | _ -> ());
+          if (not !writer) && !readers = [] then
+            op (fun () ->
+                ignore (S.write_lock sc);
+                ignore (B.write_lock br);
+                writer := true);
+          if !writer then
+            op (fun () ->
+                S.write_unlock sc;
+                B.write_unlock br;
+                writer := false);
+          (List.nth !ops (choice mod List.length !ops)) ();
+          let model_locked = !writer || !readers <> [] in
+          let model_free = (not !writer) && !readers = [] in
+          let try_agrees =
+            let a = S.Writer.try_acquire sc in
+            if a then S.Writer.release sc;
+            let b = B.Writer.try_acquire br in
+            if b then B.Writer.release br;
+            a = model_free && b = model_free
+          in
+          S.is_locked sc = model_locked
+          && B.is_locked br = model_locked
+          && try_agrees)
+        script)
+
+(* ------------------------------------------------------------------ *)
+(* vm_cache vs an association-map model                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Vm_cache = Mach_vm.Vm_cache
+
+(* Random lookup / fill / evict / wire / unwire sequences against an
+   offset -> ppn assoc model (plus a wired set): lookups must return
+   exactly the model's binding (same ppn the fill produced), evict must
+   refuse wired pages, and residency must track the model's cardinality.
+   The pool has headroom so the implicit evict-on-shortage path never
+   fires (its policy choice is not part of the sequential contract).
+   Run for all three index-locking disciplines. *)
+let cache_conformance locking script =
+  in_sim (fun () ->
+      let pages = 8 in
+      let pool = Vm_page.create ~pages:(pages + 4) () in
+      let cache = Vm_cache.create ~locking ~pool ~size:pages () in
+      let model = Hashtbl.create 8 (* offset -> ppn *) in
+      let wired = Hashtbl.create 8 in
+      let step choice =
+        let offset = choice mod pages in
+        match choice mod 5 with
+        | 0 -> (
+            match Vm_cache.lookup cache ~offset with
+            | Some ppn -> Hashtbl.find_opt model offset = Some ppn
+            | None -> not (Hashtbl.mem model offset))
+        | 1 -> (
+            match Vm_cache.lookup_or_fill cache ~offset with
+            | Ok ppn -> (
+                match Hashtbl.find_opt model offset with
+                | Some m -> m = ppn (* hit: the binding is stable *)
+                | None ->
+                    Hashtbl.replace model offset ppn;
+                    true)
+            | Error _ -> false (* headroom: a fill can never fail here *))
+        | 2 ->
+            let ok = Vm_cache.evict cache ~offset in
+            let expected =
+              Hashtbl.mem model offset && not (Hashtbl.mem wired offset)
+            in
+            if ok then Hashtbl.remove model offset;
+            ok = expected
+        | 3 ->
+            let ok = Vm_cache.wire cache ~offset in
+            let expected = Hashtbl.mem model offset in
+            if ok then Hashtbl.replace wired offset ();
+            ok = expected
+        | _ -> (
+            match Hashtbl.mem wired offset with
+            | true ->
+                Vm_cache.unwire cache ~offset;
+                Hashtbl.remove wired offset;
+                true
+            | false -> true)
+      in
+      let ok =
+        List.for_all
+          (fun c ->
+            step c && Vm_cache.resident cache = Hashtbl.length model)
+          script
+      in
+      (* Wired pages pin residency; unwire them so terminate can drain. *)
+      Hashtbl.iter (fun offset () -> Vm_cache.unwire cache ~offset) wired;
+      Vm_cache.terminate cache;
+      ok && Vm_cache.resident cache = 0)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -478,6 +604,14 @@ let qcheck_cases =
       prop "vm_map (Range) conforms to interval model" (script_gen 40)
         (map_conformance Vm_map.Range);
       prop "vm_map lockstep: Range == Coarse" (script_gen 40) map_lockstep;
+      prop "rw lockstep: scache == brlock == model" (script_gen 60)
+        rwlock_lockstep;
+      prop "vm_cache (scache) conforms to assoc model" (script_gen 50)
+        (cache_conformance Vm_cache.Scache);
+      prop "vm_cache (brlock) conforms to assoc model" (script_gen 50)
+        (cache_conformance Vm_cache.Brlock_rw);
+      prop "vm_cache (mutex) conforms to assoc model" (script_gen 50)
+        (cache_conformance Vm_cache.Mutex);
     ]
 
 let () = Alcotest.run "properties" [ ("models", qcheck_cases) ]
