@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke report-smoke chaos-smoke mc-smoke vm-smoke cache-smoke clean
+.PHONY: all check build test bench perf perf-smoke perf-gate perf-gate-selftest perf-reference trace-smoke report-smoke chaos-smoke mc-smoke vm-smoke cache-smoke rpc-smoke smoke-all clean
 
 all: build
 
@@ -37,11 +37,16 @@ perf-gate:
 	dune exec bench/perf.exe -- --engine-only
 	dune exec bench/perf_gate.exe
 
-# Prove the gate trips: inject a 2x slowdown into the measured value and
-# require exit code 1 (a gate that cannot fail gates nothing).
+# Prove the gate trips: inject a 2x slowdown into the measured values and
+# require exit code 1 (a gate that cannot fail gates nothing).  Each
+# deterministic row (vm, cache, rpc) is additionally injected on its own
+# so a row the gate silently stopped reading cannot pass the selftest.
 perf-gate-selftest:
 	dune exec bench/perf_gate.exe -- --inject-slowdown; test $$? -eq 1
-	@echo "perf-gate-selftest passed (gate trips on injected 2x slowdown)"
+	dune exec bench/perf_gate.exe -- --inject-row vm; test $$? -eq 1
+	dune exec bench/perf_gate.exe -- --inject-row cache; test $$? -eq 1
+	dune exec bench/perf_gate.exe -- --inject-row rpc; test $$? -eq 1
+	@echo "perf-gate-selftest passed (gate trips on injected 2x slowdown, every row)"
 
 # Regenerate the committed gate reference after an INTENTIONAL perf
 # change: run the full engine measurement, then edit
@@ -122,19 +127,57 @@ vm-smoke:
 	test -f BENCH_vm.json
 	@echo "vm-smoke passed"
 
-# Page-cache smoke (<60s): model-check the 2-cpu scache handoff matrix
-# (reader-vs-writer and writer-vs-writer serialize on every schedule,
-# two readers overlap on some schedule), reproduce the lost writer
-# handoff under drop-handoff injection, then regenerate the E19
-# read-mostly lookup sweep.
+# Page-cache smoke (<90s): model-check the scache handoff matrix — the
+# 2-cpu cells (reader-vs-writer and writer-vs-writer serialize on every
+# schedule, two readers overlap on some schedule) plus the 3-cpu
+# two-readers-vs-one-writer cell — reproduce the lost writer handoff
+# under drop-handoff injection, then regenerate the E19 read-mostly
+# lookup sweep.
 cache-smoke:
 	dune exec bin/machsim.exe -- mc scache-rw --cpus 2 --no-baseline | grep -q "VERIFIED"
 	dune exec bin/machsim.exe -- mc scache-ww --cpus 2 --no-baseline | grep -q "VERIFIED"
 	dune exec bin/machsim.exe -- mc scache-rr --cpus 2 --no-baseline | grep -q "VERIFIED"
+	dune exec bin/machsim.exe -- mc scache-rrw --cpus 3 --no-baseline | grep -q "VERIFIED"
 	dune exec bin/machsim.exe -- chaos --seeds 10 | grep -q "scache lost writer handoff"
 	dune exec bench/main.exe -- E19
 	test -f BENCH_cache.json
 	@echo "cache-smoke passed"
+
+# RPC-serving smoke (<60s): the E20 smoke variant (4 cpus, all four
+# configs + a drain leg) must sustain a nonzero RPCs/sec, record zero
+# refcount panics, and drain cleanly on shutdown under load.
+rpc-smoke:
+	dune exec bench/main.exe -- E20-smoke | tee /tmp/machsim-rpc.out
+	grep -qE "sustained: [0-9]+ RPCs in [0-9]+ cycles = [1-9][0-9]* RPCs/sec" /tmp/machsim-rpc.out
+	grep -q "refcount panics: 0" /tmp/machsim-rpc.out
+	grep -q "shutdown drain: clean" /tmp/machsim-rpc.out
+	test -f BENCH_rpc.json
+	@echo "rpc-smoke passed"
+
+# Every *-smoke target, so a local `make smoke-all` runs exactly what CI
+# runs.  Each smoke's log goes to /tmp/smoke-<target>.log; a pass/fail
+# table is printed and, when $GITHUB_STEP_SUMMARY is set (CI), appended
+# to the job's step summary.  Exits nonzero if any smoke failed.
+SMOKE_TARGETS = trace-smoke report-smoke chaos-smoke mc-smoke vm-smoke cache-smoke rpc-smoke perf-smoke
+
+smoke-all:
+	@status=0; summary=/tmp/smoke-summary.md; \
+	printf "| smoke | result |\n|---|---|\n" > $$summary; \
+	for t in $(SMOKE_TARGETS); do \
+		if $(MAKE) --no-print-directory $$t > /tmp/smoke-$$t.log 2>&1; \
+		then r=pass; else r=FAIL; status=1; fi; \
+		printf "%-14s %s\n" "$$t" "$$r"; \
+		printf "| %s | %s |\n" "$$t" "$$r" >> $$summary; \
+		if [ "$$r" = FAIL ]; then \
+			echo "--- $$t log tail ---"; tail -40 /tmp/smoke-$$t.log; \
+		fi; \
+	done; \
+	if [ -n "$$GITHUB_STEP_SUMMARY" ]; then \
+		{ printf "### Smoke results\n\n"; cat $$summary; printf "\n"; } \
+			>> "$$GITHUB_STEP_SUMMARY"; \
+	fi; \
+	test $$status -eq 0
+	@echo "smoke-all passed"
 
 clean:
 	dune clean

@@ -70,6 +70,7 @@ let latency_histograms =
     "lock.hold_cycles";
     "event.wait_cycles";
     "tlb.shootdown_cycles";
+    "rpc.latency_cycles";
   ]
 
 let obs_section ~id () =

@@ -1749,6 +1749,248 @@ module E19 = struct
     printf "\npage-cache tables written to %s\n" out
 end
 
+(* ================================================================== *)
+(* E20: RPC serving over ports: batching + a sharded name space        *)
+(* ================================================================== *)
+
+module E20 = struct
+  (* The first end-to-end workload number (ROADMAP item 3): client cpus
+     hammer port-based echo servers through the MiG stubs and the full
+     section 10 reference protocol — per-request name lookup, port-right
+     translation, refcount take/drop, dispatch, reply, and (in the drain
+     leg) clean shutdown under load.  Two throughput mechanisms are
+     swept against the flat baseline: batching (the server dequeues up
+     to k requests per port-lock acquisition) and a sharded port name
+     space (names hashed over S translation tables, each under its own
+     lock, in place of the single global table).
+
+     RPCs/sec is simulated time at a nominal 1 GHz (1 cycle = 1 ns):
+     sustained = served x 1e9 / makespan-cycles.  The per-request
+     latency percentiles come from the rpc.latency_cycles histogram the
+     scenario feeds per call. *)
+
+  let sweep = [ 2; 8; 16; 32; 64 ]
+
+  (* (label, shards, batch) *)
+  let configs =
+    [ ("flat", 1, 1); ("sharded", 8, 1); ("batched", 1, 8); ("sh+batch", 8, 8) ]
+
+  let panics = ref 0
+
+  type res = {
+    served : int;
+    drained : int;
+    makespan : int;
+    rps : float;
+    p50 : int;
+    p99 : int;
+  }
+
+  let serve ?(drain = false) ~cpus ~shards ~batch ~calls_each () =
+    (* Metrics are reset per run so the latency percentiles are this
+       run's, not the sweep's aggregate. *)
+    Obs_metrics.reset ();
+    let cfg = { (Config.bench ~cpus ()) with Config.seed = 3 } in
+    let counts = ref (0, 0) in
+    match
+      Engine.run_outcome ~cfg (fun () ->
+          counts :=
+            Scenarios.rpc_serve ~shards ~batch ~calls_each
+              ~drain_under_load:drain ())
+    with
+    | Engine.Completed stats ->
+        let served, drained = !counts in
+        let h =
+          Obs_metrics.merged (Obs_metrics.histogram "rpc.latency_cycles")
+        in
+        Some
+          {
+            served;
+            drained;
+            makespan = stats.Engine.makespan;
+            rps =
+              float_of_int served *. 1e9
+              /. float_of_int (max 1 stats.Engine.makespan);
+            p50 = Obs_histogram.percentile h 50.;
+            p99 = Obs_histogram.percentile h 99.;
+          }
+    | Engine.Panicked msg ->
+        incr panics;
+        printf "PANIC (%d cpus, shards=%d batch=%d): %s\n" cpus shards batch msg;
+        None
+    | Engine.Deadlocked (_, msg) ->
+        incr panics;
+        printf "DEADLOCK (%d cpus, shards=%d batch=%d): %s\n" cpus shards batch
+          msg;
+        None
+    | Engine.Hit_step_limit ->
+        incr panics;
+        printf "STEP LIMIT (%d cpus, shards=%d batch=%d)\n" cpus shards batch;
+        None
+
+  let f0 x = Printf.sprintf "%.0f" x
+
+  let run ?(smoke = false) () =
+    panics := 0;
+    section ~id:"E20" ~title:"RPC serving: batching + sharded port name space"
+      ~claim:
+        "the section 10 reference protocol (translate, take/drop, \
+         dispatch, reply) serves sustained RPC traffic; batched dequeue \
+         amortizes the port-lock hold and a sharded name space removes \
+         the global translation-table lock from the hot path, so \
+         throughput scales with client cpus instead of convoying \
+         (Elphinstone et al.: IPC throughput is where lock granularity \
+         pays off or collapses)";
+    let sweep = if smoke then [ 4 ] else sweep in
+    let calls_each = 16 in
+    let tbl = Hashtbl.create 32 in
+    let rows =
+      List.concat_map
+        (fun cpus ->
+          List.filter_map
+            (fun (name, shards, batch) ->
+              match serve ~cpus ~shards ~batch ~calls_each () with
+              | None -> None
+              | Some r ->
+                  Hashtbl.replace tbl (name, cpus) r;
+                  Some
+                    [
+                      i cpus;
+                      name;
+                      i r.served;
+                      i r.makespan;
+                      f0 r.rps;
+                      i r.p50;
+                      i r.p99;
+                    ])
+            configs)
+        sweep
+    in
+    table
+      ~header:
+        [ "cpus"; "config"; "rpcs"; "makespan"; "RPCs/sec"; "p50-cyc"; "p99-cyc" ]
+      rows;
+    let ratio name cpus =
+      match
+        (Hashtbl.find_opt tbl ("flat", cpus), Hashtbl.find_opt tbl (name, cpus))
+      with
+      | Some flat, Some r ->
+          Some (float_of_int flat.makespan /. float_of_int r.makespan)
+      | _ -> None
+    in
+    let fr = function Some x -> f2 x | None -> "-" in
+    printf "\nthroughput speedup over flat batch=1 (makespan ratio):\n";
+    table
+      ~header:[ "cpus"; "sharded"; "batched"; "sh+batch" ]
+      (List.map
+         (fun c ->
+           [
+             i c;
+             fr (ratio "sharded" c);
+             fr (ratio "batched" c);
+             fr (ratio "sh+batch" c);
+           ])
+         sweep);
+    (* The headline sustained leg: a longer sharded+batched run at the
+       top of the sweep (the smoke variant reuses the small size so it
+       stays inside the CI budget). *)
+    let sus_cpus, sus_calls = if smoke then (4, 32) else (64, 256) in
+    let sustained = serve ~cpus:sus_cpus ~shards:8 ~batch:8 ~calls_each:sus_calls () in
+    (match sustained with
+    | Some r ->
+        printf
+          "\nsustained: %d RPCs in %d cycles = %s RPCs/sec at a nominal 1 \
+           GHz (sharded+batched, %d cpus)\n"
+          r.served r.makespan (f0 r.rps) sus_cpus;
+        printf "sustained p99 latency: %d cycles (p50 %d)\n" r.p99 r.p50
+    | None -> printf "\nsustained leg FAILED\n");
+    (* Shutdown under load: servers terminated mid-traffic must answer
+       every in-flight request (err_deactivated) and leak nothing — the
+       scenario panics on a §4 double-free or a leaked reference, so a
+       Completed outcome IS the clean-drain verdict. *)
+    let drain_cpus = if smoke then 4 else 16 in
+    let drain_res = serve ~drain:true ~cpus:drain_cpus ~shards:4 ~batch:4 ~calls_each () in
+    (match drain_res with
+    | Some r ->
+        printf
+          "shutdown drain: clean (%d cpus: %d served, %d in-flight answered \
+           err_deactivated, all references balanced)\n"
+          drain_cpus r.served r.drained
+    | None -> printf "shutdown drain: FAILED\n");
+    printf "refcount panics: %d\n" !panics;
+    let res_json r =
+      [
+        ("served", Obs_json.Int r.served);
+        ("drained", Obs_json.Int r.drained);
+        ("makespan", Obs_json.Int r.makespan);
+        ("rpcs_per_sec", Obs_json.Float r.rps);
+        ("p50_cycles", Obs_json.Int r.p50);
+        ("p99_cycles", Obs_json.Int r.p99);
+      ]
+    in
+    let sweep_json =
+      List.concat_map
+        (fun cpus ->
+          List.filter_map
+            (fun (name, shards, batch) ->
+              Hashtbl.find_opt tbl (name, cpus)
+              |> Option.map (fun r ->
+                     Obs_json.Obj
+                       ([
+                          ("config", Obs_json.String name);
+                          ("cpus", Obs_json.Int cpus);
+                          ("shards", Obs_json.Int shards);
+                          ("batch", Obs_json.Int batch);
+                        ]
+                       @ res_json r)))
+            configs)
+        sweep
+    in
+    let speedup_json =
+      List.map
+        (fun c ->
+          let f name =
+            match ratio name c with
+            | Some x -> Obs_json.Float x
+            | None -> Obs_json.Null
+          in
+          Obs_json.Obj
+            [
+              ("cpus", Obs_json.Int c);
+              ("sharded_speedup", f "sharded");
+              ("batched_speedup", f "batched");
+              ("sharded_batched_speedup", f "sh+batch");
+            ])
+        sweep
+    in
+    let opt_obj extra = function
+      | Some r -> Obs_json.Obj (extra @ res_json r)
+      | None -> Obs_json.Null
+    in
+    let out = "BENCH_rpc.json" in
+    let oc = open_out out in
+    output_string oc
+      (Obs_json.to_string
+         (Obs_json.Obj
+            [
+              ( "E20",
+                Obs_json.Obj
+                  [
+                    ("mode", Obs_json.String (if smoke then "smoke" else "full"));
+                    ("sweep", Obs_json.List sweep_json);
+                    ("speedup", Obs_json.List speedup_json);
+                    ( "sustained",
+                      opt_obj [ ("cpus", Obs_json.Int sus_cpus) ] sustained );
+                    ( "drain",
+                      opt_obj [ ("cpus", Obs_json.Int drain_cpus) ] drain_res );
+                    ("refcount_panics", Obs_json.Int !panics);
+                  ] );
+            ]));
+    output_char oc '\n';
+    close_out oc;
+    printf "\nrpc tables written to %s\n" out
+end
+
 let experiments =
   [
     ("N0", N0.run);
@@ -1770,6 +2012,8 @@ let experiments =
     ("E16", E16.run);
     ("E18", E18.run);
     ("E19", E19.run);
+    ("E20", (fun () -> E20.run ()));
+    ("E20-smoke", (fun () -> E20.run ~smoke:true ()));
     ("X1", X1.run);
   ]
 

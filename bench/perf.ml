@@ -273,6 +273,37 @@ let cache_row () =
       ("read_speedup", Obs_json.Float speedup);
     ]
 
+(* Same deterministic-guard idea for the RPC serving path (E20): the
+   flat/sharded+batched makespan ratio of the 64-cpu serving workload is
+   pure simulated time, so the gate can pin the end-to-end throughput win
+   of batched dequeue + the sharded port name space.  A change that
+   reserializes the hot path (say, name lookups falling back to one
+   global table lock, or batching degrading to one message per lock
+   hold) collapses the ratio and trips the gate with zero host noise. *)
+let rpc_serve ~shards ~batch =
+  let cfg = { (Config.bench ~cpus:64 ()) with Config.seed = 3 } in
+  let stats =
+    Engine.run ~cfg (fun () ->
+        ignore (Mach_kernel.Scenarios.rpc_serve ~shards ~batch ~calls_each:16 ()))
+  in
+  stats.Engine.makespan
+
+let rpc_row () =
+  let flat = rpc_serve ~shards:1 ~batch:1 in
+  let sharded = rpc_serve ~shards:8 ~batch:8 in
+  let speedup = float_of_int flat /. float_of_int sharded in
+  Printf.printf
+    "rpc: 64-cpu serving  flat makespan=%d  sharded+batched makespan=%d  \
+     throughput_speedup=%.2fx (deterministic)\n%!"
+    flat sharded speedup;
+  Obs_json.Obj
+    [
+      ("scenario", Obs_json.String "rpc-serve-64cpu");
+      ("flat_makespan", Obs_json.Int flat);
+      ("sharded_batched_makespan", Obs_json.Int sharded);
+      ("throughput_speedup", Obs_json.Float speedup);
+    ]
+
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   let engine_only = Array.exists (fun a -> a = "--engine-only") Sys.argv in
@@ -287,7 +318,12 @@ let () =
      to emit unconditionally — including --engine-only, which is what
      the CI perf gate runs. *)
   let fields =
-    [ ("engine", engine_json); ("vm", vm_row ()); ("cache", cache_row ()) ]
+    [
+      ("engine", engine_json);
+      ("vm", vm_row ());
+      ("cache", cache_row ());
+      ("rpc", rpc_row ());
+    ]
   in
   let fields =
     if engine_only then fields

@@ -16,8 +16,14 @@
    (--max-spans-overhead, default 0.03; the engine row is measured with
    spans disabled) fails on both estimators.
 
-   --inject-slowdown halves both measured values before the comparison;
-   CI runs it once per pipeline to prove the gate actually trips
+   Deterministic rows (vm.range_speedup, cache.read_speedup,
+   rpc.throughput_speedup) are simulated-time makespan ratios and are
+   checked directly against their committed floors — no estimator
+   pairing needed.
+
+   --inject-slowdown halves every measured value before the comparison;
+   --inject-row SECTION halves only that deterministic row.  CI runs
+   both once per pipeline to prove the gate actually trips on each row
    (a gate that cannot fail gates nothing). *)
 
 module Obs_json = Mach_obs.Obs_json
@@ -59,6 +65,7 @@ let () =
   let min_ratio = ref 0.9 in
   let max_spans_overhead = ref 0.03 in
   let inject = ref false in
+  let inject_row = ref "" in
   let spec =
     [
       ("--perf", Arg.Set_string perf, "FILE measured perf json (default BENCH_sim_perf.json)");
@@ -69,6 +76,10 @@ let () =
         "F fail when the spans-disabled run is more than F below the \
          reference (default 0.03)" );
       ("--inject-slowdown", Arg.Set inject, " halve the measured value (gate selftest)");
+      ( "--inject-row",
+        Arg.Set_string inject_row,
+        "SECTION halve only that deterministic row's measured value (vm, \
+         cache or rpc; gate selftest per row)" );
     ]
   in
   Arg.parse spec
@@ -124,80 +135,76 @@ let () =
           not free"
          (100. *. !max_spans_overhead))
   in
-  (* The range-lock fault path (E16): vm.range_speedup is measured in
-     simulated time, so it is deterministic — no estimator pairing or
-     noise floor needed.  The check only runs when the committed
-     reference carries the row (older references predate it). *)
+  (* Deterministic rows (simulated-time makespan ratios): no estimator
+     pairing or noise floor needed — the number moves only when the code
+     changes.  Each check runs only when the committed reference carries
+     the row (older references predate it), and --inject-row SECTION
+     halves just that row so the selftest can prove each one trips
+     independently of the engine rows. *)
+  let det_check ~section ~label ~ref_field ~meas_field ~fail_text =
+    let field doc path f =
+      match Obs_json.member section doc with
+      | None -> None
+      | Some obj -> (
+          match number (Obs_json.member f obj) with
+          | Some v when v > 0. -> Some v
+          | Some _ -> die "%s: %s.%s must be positive" path section f
+          | None -> None)
+    in
+    match field (json_of_file !reference) !reference ref_field with
+    | None -> false
+    | Some floor -> (
+        match field (json_of_file !perf) !perf meas_field with
+        | None -> die "%s: %s.%s missing" !perf section meas_field
+        | Some m ->
+            let injected = !inject || !inject_row = section in
+            let m = if injected then m /. 2. else m in
+            Printf.printf
+              "perf-gate: %s: %s.%s measured=%.2f  floor=%.2f%s\n" label
+              section meas_field m floor
+              (if injected then "  [injected 2x slowdown]" else "");
+            if m < floor then begin
+              Printf.printf "perf-gate: FAIL: %s (the number is \
+                             deterministic simulated time, not host noise)\n"
+                (fail_text floor);
+              true
+            end
+            else false)
+  in
+  (* The range-lock fault path (E16). *)
   let vm_failed =
-    let vm_field doc path field =
-      match Obs_json.member "vm" doc with
-      | None -> None
-      | Some vm -> (
-          match number (Obs_json.member field vm) with
-          | Some f when f > 0. -> Some f
-          | Some _ -> die "%s: vm.%s must be positive" path field
-          | None -> None)
-    in
-    match vm_field (json_of_file !reference) !reference "min_range_speedup" with
-    | None -> false
-    | Some floor -> (
-        match vm_field (json_of_file !perf) !perf "range_speedup" with
-        | None -> die "%s: vm.range_speedup missing" !perf
-        | Some m ->
-            let m = if !inject then m /. 2. else m in
-            Printf.printf
-              "perf-gate: vm fault path: vm.range_speedup measured=%.2f  \
-               floor=%.2f%s\n"
-              m floor
-              (if !inject then "  [injected 2x slowdown]" else "");
-            if m < floor then begin
-              Printf.printf
-                "perf-gate: FAIL: the range-locked fault storm no longer \
-                 beats the coarse map lock by at least %.1fx at 16 cpus; \
-                 the range-lock fault path has reserialized (the number is \
-                 deterministic simulated time, not host noise)\n"
-                floor;
-              true
-            end
-            else false)
+    det_check ~section:"vm" ~label:"vm fault path"
+      ~ref_field:"min_range_speedup" ~meas_field:"range_speedup"
+      ~fail_text:(fun floor ->
+        Printf.sprintf
+          "the range-locked fault storm no longer beats the coarse map lock \
+           by at least %.1fx at 16 cpus; the range-lock fault path has \
+           reserialized"
+          floor)
   in
-  (* The scache page-cache read path (E19): cache.read_speedup is the
-     deterministic mutex/scache makespan ratio of the 64-cpu lookup
-     storm — same scheme as the vm row, same older-reference opt-out. *)
+  (* The scache page-cache read path (E19). *)
   let cache_failed =
-    let cache_field doc path field =
-      match Obs_json.member "cache" doc with
-      | None -> None
-      | Some cache -> (
-          match number (Obs_json.member field cache) with
-          | Some f when f > 0. -> Some f
-          | Some _ -> die "%s: cache.%s must be positive" path field
-          | None -> None)
-    in
-    match
-      cache_field (json_of_file !reference) !reference "min_read_speedup"
-    with
-    | None -> false
-    | Some floor -> (
-        match cache_field (json_of_file !perf) !perf "read_speedup" with
-        | None -> die "%s: cache.read_speedup missing" !perf
-        | Some m ->
-            let m = if !inject then m /. 2. else m in
-            Printf.printf
-              "perf-gate: cache read path: cache.read_speedup measured=%.2f  \
-               floor=%.2f%s\n"
-              m floor
-              (if !inject then "  [injected 2x slowdown]" else "");
-            if m < floor then begin
-              Printf.printf
-                "perf-gate: FAIL: the scache page cache no longer beats the \
-                 mutex cache by at least %.1fx at 64 cpus; the read side has \
-                 reserialized (the number is deterministic simulated time, \
-                 not host noise)\n"
-                floor;
-              true
-            end
-            else false)
+    det_check ~section:"cache" ~label:"cache read path"
+      ~ref_field:"min_read_speedup" ~meas_field:"read_speedup"
+      ~fail_text:(fun floor ->
+        Printf.sprintf
+          "the scache page cache no longer beats the mutex cache by at \
+           least %.1fx at 64 cpus; the read side has reserialized"
+          floor)
   in
-  if ratio_failed || spans_failed || vm_failed || cache_failed then exit 1
+  (* The RPC serving path (E20): flat/sharded+batched makespan ratio of
+     the 64-cpu serving workload. *)
+  let rpc_failed =
+    det_check ~section:"rpc" ~label:"rpc serving path"
+      ~ref_field:"min_throughput_speedup" ~meas_field:"throughput_speedup"
+      ~fail_text:(fun floor ->
+        Printf.sprintf
+          "sharded+batched RPC serving no longer beats the flat batch=1 \
+           server by at least %.1fx at 64 cpus; the hot path has \
+           reserialized (global name-table lock back on the lookup path, \
+           or batching degraded to one message per port-lock hold)"
+          floor)
+  in
+  if ratio_failed || spans_failed || vm_failed || cache_failed || rpc_failed
+  then exit 1
   else Printf.printf "perf-gate: OK\n"

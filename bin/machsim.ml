@@ -225,6 +225,33 @@ let scenarios : (string * (string * (unit -> unit))) list =
     ( "vm-cache-mutex",
       ( "the same storm with the cache index under one flat mutex",
         fun () -> Scenarios.vm_cache_ops ~locking:Vm.Vm_cache.Mutex () ) );
+    ( "scache-rrw",
+      ( "scache matrix, 3 cpus: two readers racing one writer (readers \
+         may interleave; a writer overlap is fatal)",
+        fun () -> ignore (Scenarios.scache_rrw ()) ) );
+    ( "rpc-serve",
+      ( "E20 RPC serving: clients hammer MiG servers through a sharded \
+         namespace with batched dispatch, then drain cleanly",
+        fun () ->
+          let served, drained =
+            Scenarios.rpc_serve ~shards:8 ~batch:8 ~calls_each:16 ()
+          in
+          Printf.printf "rpc-serve: served %d drained %d\n" served drained ) );
+    ( "rpc-serve-flat",
+      ( "the same workload through the single global registry, batch=1 \
+         (the unsharded baseline)",
+        fun () ->
+          let served, drained = Scenarios.rpc_serve ~calls_each:16 () in
+          Printf.printf "rpc-serve: served %d drained %d\n" served drained ) );
+    ( "rpc-serve-drain",
+      ( "RPC serving terminated under load: in-flight requests are \
+         answered err_deactivated, refcounts audited",
+        fun () ->
+          let served, drained =
+            Scenarios.rpc_serve ~shards:4 ~batch:4 ~calls_each:16
+              ~drain_under_load:true ()
+          in
+          Printf.printf "rpc-serve: served %d drained %d\n" served drained ) );
     ( "queue-locks",
       ( "one contended critical section per queue-lock protocol \
          (ticket, MCS, Anderson) plus a big-reader read burst",

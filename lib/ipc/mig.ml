@@ -30,19 +30,31 @@ let err_bad_arguments = 1003
 
 type call_error = [ `Dead_port | `Server_failure of int ]
 
-let call port ~id args =
-  let reply_port = Port.create ~name:"reply" ~queue_limit:1 () in
+(* A per-call reply port costs a kernel-object allocation and two fresh
+   events every RPC; Mach caches one reply port per thread instead
+   (mig_get_reply_port).  [reply_port] opts into that reuse: the caller
+   owns the port, guarantees it is used by one call at a time, and
+   destroys it when the client thread is done.  The reply wait spins
+   [poll] unlocked probes before blocking ({!Port.receive}'s
+   spin-then-block), which on a loaded server skips the sleep/wakeup
+   machinery for most calls. *)
+let call ?(poll = 512) ?reply_port port ~id args =
+  let rp, owned =
+    match reply_port with
+    | Some rp -> (rp, false)
+    | None -> (Port.create ~name:"reply" ~queue_limit:1 (), true)
+  in
   let finish r =
-    Port.destroy reply_port;
-    Port.release reply_port;
+    if owned then begin
+      Port.destroy rp;
+      Port.release rp
+    end;
     r
   in
-  match
-    Port.send port { Port.msg_op = id; reply_to = Some reply_port; body = args }
-  with
+  match Port.send port { Port.msg_op = id; reply_to = Some rp; body = args } with
   | Error `Dead_port -> finish (Error `Dead_port)
   | Ok () -> (
-      match Port.receive reply_port with
+      match Port.receive ~spin:poll rp with
       | Error `Dead_port | Error `Would_block -> finish (Error `Dead_port)
       | Ok msg -> (
           (* Ownership of any port rights in the reply body transfers to
@@ -72,45 +84,81 @@ let reply_to_message msg result =
          request; sending cloned what it needed. *)
       Port.release rp
 
-let serve_one reg port =
-  match Port.receive port with
-  | Error `Dead_port | Error `Would_block -> Error `Dead_port
-  | Ok msg -> (
-      (* Step 2: determine the represented object from the port and obtain
-         a reference to it. *)
-      let obj = Port.translate port in
-      let release_body () =
-        List.iter
-          (function
-            | Port.Port_right p -> Port.release p
-            | Port.Int _ | Port.Str _ -> ())
-          msg.Port.body
-      in
-      match lookup reg msg.Port.msg_op with
-      | None ->
-          reply_to_message msg (Error err_no_such_routine);
-          release_body ();
-          (match obj with Some o -> Kobj.release o | None -> ());
-          Ok ()
-      | Some routine ->
-          (* Step 3: the operation executes with the object reference
-             preventing the object and its port from vanishing. *)
-          let result = routine.handler obj msg.Port.body in
-          (* Step 4: release the object reference.  Mach 3.0 style: a
-             successful operation consumed it; release only on failure. *)
-          (match (obj, result, routine.consumes_reference) with
-          | Some o, Ok _, true -> ignore o
-          | Some o, _, _ -> Kobj.release o
-          | None, _, _ -> ());
-          (* Step 5: the reply message returns the result. *)
-          reply_to_message msg result;
-          release_body ();
-          Ok ())
+let release_body msg =
+  List.iter
+    (function
+      | Port.Port_right p -> Port.release p
+      | Port.Int _ | Port.Str _ -> ())
+    msg.Port.body
 
-let serve_loop ?(stop = fun () -> false) reg port =
+(* The per-request steps 2–5 of the section 10 sequence, shared by the
+   one-at-a-time and batched serve paths (step 1, the receive, is the
+   caller's). *)
+let dispatch reg port msg =
+  (* Step 2: determine the represented object from the port and obtain
+     a reference to it. *)
+  let obj = Port.translate port in
+  match lookup reg msg.Port.msg_op with
+  | None ->
+      reply_to_message msg (Error err_no_such_routine);
+      release_body msg;
+      (match obj with Some o -> Kobj.release o | None -> ())
+  | Some routine ->
+      (* Step 3: the operation executes with the object reference
+         preventing the object and its port from vanishing. *)
+      let result = routine.handler obj msg.Port.body in
+      (* Step 4: release the object reference.  Mach 3.0 style: a
+         successful operation consumed it; release only on failure. *)
+      (match (obj, result, routine.consumes_reference) with
+      | Some o, Ok _, true -> ignore o
+      | Some o, _, _ -> Kobj.release o
+      | None, _, _ -> ());
+      (* Step 5: the reply message returns the result. *)
+      reply_to_message msg result;
+      release_body msg
+
+let serve_one ?spin reg port =
+  match Port.receive ?spin port with
+  | Error `Dead_port | Error `Would_block -> Error `Dead_port
+  | Ok msg ->
+      dispatch reg port msg;
+      Ok ()
+
+(* Batched dispatch: one port-lock acquisition yields up to [max]
+   requests, each then dispatched without re-taking the port's message
+   lock.  Returns how many were served. *)
+let serve_batch ?spin reg port ~max =
+  match Port.receive_batch ?spin port ~max with
+  | Error `Dead_port | Error `Would_block -> Error `Dead_port
+  | Ok msgs ->
+      List.iter (fun msg -> dispatch reg port msg) msgs;
+      Ok (List.length msgs)
+
+let serve_loop ?(stop = fun () -> false) ?(batch = 1) ?(spin = 256) reg port =
+  if batch < 1 then invalid_arg "Mig.serve_loop: batch must be >= 1";
   let rec loop () =
     if stop () then ()
+    else if batch = 1 then
+      match serve_one ~spin reg port with
+      | Ok () -> loop ()
+      | Error `Dead_port -> ()
     else
-      match serve_one reg port with Ok () -> loop () | Error `Dead_port -> ()
+      match serve_batch ~spin reg port ~max:batch with
+      | Ok _ -> loop ()
+      | Error `Dead_port -> ()
   in
   loop ()
+
+(* Shutdown under load: deactivate the service port and answer every
+   in-flight request with [err_deactivated] (section 9's "operations on a
+   deactivated object return a failure code"), so no client sleeps
+   forever on its reply port and no carried right leaks.  Returns the
+   number of requests drained. *)
+let drain port =
+  let inflight = Port.destroy_drain port in
+  List.iter
+    (fun msg ->
+      reply_to_message msg (Error err_deactivated);
+      release_body msg)
+    inflight;
+  List.length inflight

@@ -53,24 +53,59 @@ val lookup : registry -> int -> routine option
 
 type call_error = [ `Dead_port | `Server_failure of int ]
 
-val call : Port.t -> id:int -> args -> (args, call_error) result
-(** Synchronous RPC: allocate a reply port, send the request, block
-    receiving the reply, destroy the reply port.  Ownership of any port
-    rights in the returned results transfers to the caller, which must
-    release them. *)
+val call :
+  ?poll:int ->
+  ?reply_port:Port.t ->
+  Port.t ->
+  id:int ->
+  args ->
+  (args, call_error) result
+(** Synchronous RPC: send the request, wait for the reply.  The wait
+    probes the reply port up to [poll] times (default 512) before
+    blocking — a short RPC's reply arrives within the window, skipping
+    the sleep/wakeup machinery entirely; [poll:0] blocks immediately.
+    Without [reply_port] a fresh reply port is allocated and destroyed
+    per call; passing one (Mach's cached per-thread reply port,
+    mig_get_reply_port) skips that allocation — the caller owns it, must
+    not use it for two calls at once, and destroys it when done.
+    Ownership of any port rights in the returned results transfers to
+    the caller, which must release them. *)
 
 val send_async : Port.t -> id:int -> args -> (unit, [ `Dead_port ]) result
 (** One-way message, no reply expected. *)
 
 (** {1 Server side} *)
 
-val serve_one : registry -> Port.t -> (unit, [ `Dead_port ]) result
+val serve_one : ?spin:int -> registry -> Port.t -> (unit, [ `Dead_port ]) result
 (** Receive and dispatch one request on the given service port, executing
-    the section 10 sequence, and reply (if a reply port was supplied). *)
+    the section 10 sequence, and reply (if a reply port was supplied).
+    [spin] is forwarded to {!Port.receive}. *)
 
-val serve_loop : ?stop:(unit -> bool) -> registry -> Port.t -> unit
+val dispatch : registry -> Port.t -> Port.message -> unit
+(** Steps 2–5 of the section 10 sequence for an already-received request:
+    translate, run the routine, balance the object reference, reply, and
+    release the body rights.  Exposed for servers that receive messages
+    themselves (e.g. batched). *)
+
+val serve_batch :
+  ?spin:int -> registry -> Port.t -> max:int -> (int, [ `Dead_port ]) result
+(** Batched dispatch: receive up to [max] requests under a single
+    port-lock acquisition ({!Port.receive_batch}) and dispatch each.
+    Blocks like {!serve_one} while the queue is empty; [Ok n] is the
+    number served (1 <= n <= max). *)
+
+val serve_loop :
+  ?stop:(unit -> bool) -> ?batch:int -> ?spin:int -> registry -> Port.t -> unit
 (** Serve until the port dies or [stop ()] becomes true (checked between
-    requests). *)
+    receives).  [batch] > 1 uses {!serve_batch} per iteration (default 1,
+    one request per port-lock acquisition); [spin] (default 256) probes
+    an empty queue before sleeping. *)
+
+val drain : Port.t -> int
+(** Shutdown under load: deactivate the service port
+    ({!Port.destroy_drain}) and reply [err_deactivated] to every in-flight
+    request so no client sleeps forever on its reply port and no carried
+    right leaks.  Returns the number of requests drained. *)
 
 (** {1 Well-known failure codes} *)
 

@@ -17,6 +17,12 @@ type t = {
   queue_limit : int;
   msg_event : K.Ev.event; (* receivers wait here *)
   space_event : K.Ev.event; (* senders wait here *)
+  (* Waiter counts, maintained under the port lock, so the enqueue and
+     dequeue paths only pay a thread_wakeup (event-bucket lock, unpark)
+     when somebody is actually asleep — on the RPC hot path nobody is,
+     and the unconditional wakeup was the dominant cost per message. *)
+  mutable recv_waiters : int;
+  mutable send_waiters : int;
 }
 
 and element = Int of int | Str of string | Port_right of t
@@ -43,6 +49,8 @@ let create ?name ?(queue_limit = 16) () =
       queue_limit;
       msg_event = K.Ev.fresh_event ();
       space_event = K.Ev.fresh_event ();
+      recv_waiters = 0;
+      send_waiters = 0;
     }
   in
   Kobj.set_payload p.pobj (Port_payload p);
@@ -109,7 +117,7 @@ let enqueue_locked t msg =
   reference_rights msg;
   t.q_rear <- { qm = msg; dest = t } :: t.q_rear;
   t.q_len <- t.q_len + 1;
-  ignore (K.Ev.thread_wakeup t.msg_event)
+  if t.recv_waiters > 0 then ignore (K.Ev.thread_wakeup t.msg_event)
 
 (* The send and receive spans cover the whole operation including
    queue-full / queue-empty sleeps, so span duration is the user-visible
@@ -117,16 +125,18 @@ let enqueue_locked t msg =
 let send t msg =
   let spans = Obs_span.enabled () in
   if spans then Obs_span.enter Obs_span.Ipc ("send:" ^ name t);
-  let rec attempt () =
+  let rec attempt ~waited =
     Kobj.lock t.pobj;
+    if waited then t.send_waiters <- t.send_waiters - 1;
     if not (Kobj.is_active t.pobj) then begin
       Kobj.unlock t.pobj;
       Error `Dead_port
     end
     else if t.q_len >= t.queue_limit then begin
       (* Queue full: release the port lock and wait for space. *)
+      t.send_waiters <- t.send_waiters + 1;
       ignore (K.Ev.thread_sleep t.space_event (Kobj.object_lock t.pobj));
-      attempt ()
+      attempt ~waited:true
     end
     else begin
       enqueue_locked t msg;
@@ -134,7 +144,7 @@ let send t msg =
       Ok ()
     end
   in
-  let r = attempt () in
+  let r = attempt ~waited:false in
   if spans then Obs_span.exit Obs_span.Ipc ("send:" ^ name t);
   r
 
@@ -162,16 +172,33 @@ let dequeue_locked t =
     | q :: rest ->
         t.q_front <- rest;
         t.q_len <- t.q_len - 1;
-        ignore (K.Ev.thread_wakeup t.space_event);
+        if t.send_waiters > 0 then ignore (K.Ev.thread_wakeup t.space_event);
         Some q
     | [] -> assert false (* q_len > 0 implies a non-empty side *)
   end
 
-let receive t =
+(* Spin-then-block: before committing to the sleep/wakeup machinery
+   (waiter registration under a global lock, event-bucket locks,
+   park/unpark — the dominant per-message cost once the queue work
+   itself is cheap), probe the queue up to [spin] times with an
+   UNLOCKED peek at [q_len]: a racy read costing one pause, confirmed
+   under the lock only when it looks non-empty.  A dead port makes the
+   peek loop exit through the locked path, so spinning receivers still
+   observe destroy promptly. *)
+let rec spin_for_message t spin =
+  if spin <= 0 then `Block
+  else if t.q_len > 0 || not (Kobj.is_active t.pobj) then `Try (spin - 1)
+  else begin
+    K.Machine.spin_pause ();
+    spin_for_message t (spin - 1)
+  end
+
+let receive ?(spin = 0) t =
   let spans = Obs_span.enabled () in
   if spans then Obs_span.enter Obs_span.Ipc ("recv:" ^ name t);
-  let rec attempt () =
+  let rec attempt ~waited ~spin =
     Kobj.lock t.pobj;
+    if waited then t.recv_waiters <- t.recv_waiters - 1;
     if not (Kobj.is_active t.pobj) then begin
       Kobj.unlock t.pobj;
       Error `Dead_port
@@ -185,10 +212,19 @@ let receive t =
           release q.dest;
           Ok q.qm
       | None ->
-          ignore (K.Ev.thread_sleep t.msg_event (Kobj.object_lock t.pobj));
-          attempt ()
+          if spin > 0 then begin
+            Kobj.unlock t.pobj;
+            match spin_for_message t spin with
+            | `Try rest -> attempt ~waited:false ~spin:rest
+            | `Block -> attempt ~waited:false ~spin:0
+          end
+          else begin
+            t.recv_waiters <- t.recv_waiters + 1;
+            ignore (K.Ev.thread_sleep t.msg_event (Kobj.object_lock t.pobj));
+            attempt ~waited:true ~spin:0
+          end
   in
-  let r = attempt () in
+  let r = attempt ~waited:false ~spin in
   if spans then Obs_span.exit Obs_span.Ipc ("recv:" ^ name t);
   r
 
@@ -207,6 +243,82 @@ let try_receive t =
     | None ->
         Kobj.unlock t.pobj;
         Error `Would_block
+
+(* Batched receive: up to [max] dequeues under ONE port-lock
+   acquisition, amortizing the Simple_lock hold across the batch (the
+   E20 batching mechanism).  Dequeue order is FIFO, same as [receive]
+   called [max] times.  Returns at least one message — if the queue is
+   empty the caller sleeps and retries, exactly like [receive]. *)
+let receive_batch ?(spin = 0) t ~max =
+  if max < 1 then invalid_arg "Port.receive_batch: max must be >= 1";
+  let spans = Obs_span.enabled () in
+  if spans then Obs_span.enter Obs_span.Ipc ("recv:" ^ name t);
+  let rec attempt ~waited ~spin =
+    Kobj.lock t.pobj;
+    if waited then t.recv_waiters <- t.recv_waiters - 1;
+    if not (Kobj.is_active t.pobj) then begin
+      Kobj.unlock t.pobj;
+      Error `Dead_port
+    end
+    else begin
+      let rec take n acc =
+        if n = 0 then acc
+        else
+          match dequeue_locked t with
+          | Some q -> take (n - 1) (q :: acc)
+          | None -> acc
+      in
+      match take max [] with
+      | [] ->
+          if spin > 0 then begin
+            Kobj.unlock t.pobj;
+            match spin_for_message t spin with
+            | `Try rest -> attempt ~waited:false ~spin:rest
+            | `Block -> attempt ~waited:false ~spin:0
+          end
+          else begin
+            t.recv_waiters <- t.recv_waiters + 1;
+            ignore (K.Ev.thread_sleep t.msg_event (Kobj.object_lock t.pobj));
+            attempt ~waited:true ~spin:0
+          end
+      | batch_rev ->
+          Kobj.unlock t.pobj;
+          let batch = List.rev batch_rev in
+          (* Destination-port references released outside the lock; body
+             rights and reply ports transfer to the receiver. *)
+          List.iter (fun q -> release q.dest) batch;
+          Ok (List.map (fun q -> q.qm) batch)
+    end
+  in
+  let r = attempt ~waited:false ~spin in
+  if spans then Obs_span.exit Obs_span.Ipc ("recv:" ^ name t);
+  r
+
+let try_receive_batch t ~max =
+  if max < 1 then invalid_arg "Port.try_receive_batch: max must be >= 1";
+  Kobj.lock t.pobj;
+  if not (Kobj.is_active t.pobj) then begin
+    Kobj.unlock t.pobj;
+    Error `Dead_port
+  end
+  else begin
+    let rec take n acc =
+      if n = 0 then acc
+      else
+        match dequeue_locked t with
+        | Some q -> take (n - 1) (q :: acc)
+        | None -> acc
+    in
+    match take max [] with
+    | [] ->
+        Kobj.unlock t.pobj;
+        Error `Would_block
+    | batch_rev ->
+        Kobj.unlock t.pobj;
+        let batch = List.rev batch_rev in
+        List.iter (fun q -> release q.dest) batch;
+        Ok (List.map (fun q -> q.qm) batch)
+  end
 
 let queued t = Kobj.with_lock t.pobj (fun () -> t.q_len)
 
@@ -236,3 +348,32 @@ let destroy t =
     match obj with Some o -> Kobj.release o | None -> ()
   end
   else Kobj.unlock t.pobj
+
+(* Shutdown under load: deactivate like [destroy], but hand the in-flight
+   messages back (in FIFO order) instead of silently destroying their
+   rights — a server drains these by replying "deactivated" to each, so
+   clients blocked on their reply ports wake up instead of sleeping
+   forever.  The queued messages' destination references are released
+   here; body rights and reply ports transfer to the caller, who must
+   consume them ([destroy_message] after replying). *)
+let destroy_drain t =
+  Kobj.lock t.pobj;
+  if Kobj.deactivate t.pobj then begin
+    let drained = t.q_front @ List.rev t.q_rear in
+    t.q_front <- [];
+    t.q_rear <- [];
+    t.q_len <- 0;
+    let obj = t.object_ptr in
+    t.object_ptr <- None;
+    ignore (K.Ev.thread_wakeup t.msg_event);
+    ignore (K.Ev.thread_wakeup t.space_event);
+    Kobj.unlock t.pobj;
+    (* References are released outside the port lock (section 8). *)
+    List.iter (fun q -> release q.dest) drained;
+    (match obj with Some o -> Kobj.release o | None -> ());
+    List.map (fun q -> q.qm) drained
+  end
+  else begin
+    Kobj.unlock t.pobj;
+    []
+  end

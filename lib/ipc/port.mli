@@ -74,12 +74,24 @@ val send : t -> message -> (unit, send_error) result
 
 val try_send : t -> message -> (unit, [ send_error | `Would_block ]) result
 
-val receive : t -> (message, receive_error) result
-(** Dequeue; blocks while the queue is empty.  The returned message's port
-    references are transferred to the caller (release them via
-    {!destroy_message} or keep the rights). *)
+val receive : ?spin:int -> t -> (message, receive_error) result
+(** Dequeue; blocks while the queue is empty.  With [spin] > 0 the empty
+    queue is first probed up to [spin] times with an unlocked peek (one
+    pause per probe) before the receiver commits to the sleep/wakeup
+    machinery — the spin-then-block discipline of the RPC hot path.
+    The returned message's port references are transferred to the caller
+    (release them via {!destroy_message} or keep the rights). *)
 
 val try_receive : t -> (message, receive_error) result
+
+val receive_batch : ?spin:int -> t -> max:int -> (message list, receive_error) result
+(** Dequeue up to [max] messages under a single port-lock acquisition
+    (batched dispatch: the lock hold is amortized across the batch).
+    Blocks like {!receive} while the queue is empty, with the same
+    [spin] probing; always returns at least one message on [Ok].  FIFO
+    order is preserved. *)
+
+val try_receive_batch : t -> max:int -> (message list, receive_error) result
 
 val queued : t -> int
 
@@ -95,3 +107,11 @@ val destroy : t -> unit
     [`Dead_port]; queued messages are destroyed; the represented-object
     pointer (if any) is cleared and its reference released.  The port data
     structure itself persists until its last reference is released. *)
+
+val destroy_drain : t -> message list
+(** Deactivate like {!destroy}, but return the in-flight messages (FIFO)
+    instead of destroying them, so a server shutting down under load can
+    reply to each — without this, clients blocked on their reply ports
+    would sleep forever.  The caller owns the returned messages' rights
+    and must consume them (reply, then {!destroy_message}).  Returns []
+    if the port was already dead. *)

@@ -520,3 +520,234 @@ let vm_cache_ops ?(locking = Vm_cache.Scache) ?threads ?(pages = 64)
   in
   List.iter Engine.join ts;
   Vm_cache.terminate cache
+
+(* ------------------------------------------------------------------ *)
+(* The 3-cpu scache matrix cell: two readers racing one writer          *)
+(* ------------------------------------------------------------------ *)
+
+module Kobj = Mach_ksync.Kobj
+module Port_space = Mach_ipc.Port_space
+module Obs_metrics = Mach_obs.Obs_metrics
+
+(* Two readers race one writer on a single Scache_rwlock.  Occupancy is
+   one engine cell with weighted increments — readers add 1, the writer
+   adds 100 — so every entry is a single atomic visible op: any count
+   >= 100 seen by a reader, or > 0 seen by the writer, is a
+   reader/writer (or writer/writer) overlap and is fatal.  The returned
+   flag witnesses that some schedule interleaved the two READERS (0 <
+   prior count < 100), so DPOR over this one scenario both refutes
+   writer conflicts and proves the protocol still admits reader
+   parallelism with a writer contending — the 2-cpu matrix cannot show
+   that, because its reader-parallel cell has no writer in the mix. *)
+let scache_rrw () =
+  let l = K.Locks.Scache.make ~name:"matrix.scache" in
+  let active = Engine.Cell.make ~name:"rrw.active" 0 in
+  let witnessed = ref false in
+  let reader name =
+    Engine.spawn ~name (fun () ->
+        let slot = K.Locks.Scache.read_lock l in
+        let prior = Engine.Cell.fetch_and_add active 1 in
+        if prior >= 100 then
+          Engine.fatal "scache rrw: reader and writer held concurrently"
+        else if prior > 0 then witnessed := true;
+        ignore (Engine.Cell.fetch_and_add active (-1));
+        K.Locks.Scache.read_unlock l ~slot)
+  in
+  let a = reader "reader-a" in
+  let b = reader "reader-b" in
+  (* The writer runs on the main thread: a fourth thread would multiply
+     the schedule tree for no extra coverage, and the 3-cpu search is
+     already the expensive cell of the matrix. *)
+  ignore (K.Locks.Scache.write_lock l);
+  if Engine.Cell.fetch_and_add active 100 > 0 then
+    Engine.fatal "scache rrw: writer entered an occupied section";
+  ignore (Engine.Cell.fetch_and_add active (-100));
+  K.Locks.Scache.write_unlock l;
+  Engine.join a;
+  Engine.join b;
+  !witnessed
+
+(* ------------------------------------------------------------------ *)
+(* High-throughput RPC serving (experiment E20)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The first end-to-end workload: [clients] threads hammer [servers]
+   port-based RPC servers through the full section 10 reference
+   protocol — name-to-port translation ({!Mach_ipc.Port_space.lookup}
+   clones a port reference under a shard lock), send (the queued message
+   references the port and its rights), server receive, port-to-object
+   translation (an object reference per request), dispatch, reply, and
+   reference releases at every step.  The two throughput mechanisms
+   under test: [shards] splits the translation table's lock ([shards] =
+   1 is the single global registry), and [batch] > 1 dequeues up to
+   [batch] requests per port-lock acquisition (Mig.serve_batch).
+
+   Shutdown always runs under the drain protocol: names are unregistered,
+   then each service port is deactivated with its in-flight requests
+   answered [err_deactivated] (Mig.drain), so no client sleeps forever on
+   its reply port.  With [drain_under_load] a terminator thread does this
+   while clients are still calling, and clients treat dead-port /
+   deactivated failures as the signal to stop.  Either way the scenario
+   ends by checking every port and represented object for the section 4
+   failure modes: a leaked reference (count above the creator's) or a
+   double release (count below it) is fatal.
+
+   Returns (completed RPCs, requests drained in flight). *)
+let rpc_serve ?(shards = 1) ?(batch = 1) ?servers ?clients ?(calls_each = 8)
+    ?(work_cycles = 4) ?(walk_cycles = 64) ?(spin = 8192)
+    ?(drain_under_load = false) () =
+  let cpus = Engine.cpu_count () in
+  let servers =
+    match servers with Some s -> s | None -> max 1 (cpus / 8)
+  in
+  let clients =
+    match clients with Some c -> c | None -> max 1 (cpus - servers)
+  in
+  let space = Port_space.create ~name:"rpc.space" ~shards ~walk_cycles () in
+  let lat = Obs_metrics.histogram "rpc.latency_cycles" in
+  let completed = Engine.Cell.make ~name:"rpc.completed" 0 in
+  let reg = Mig.make_registry () in
+  Mig.register reg ~id:1 ~name:"echo" (fun obj args ->
+      match obj with
+      | None ->
+          (* Port drained between receive and translate: the object
+             pointer is gone, so fail the request like section 9 says. *)
+          Error Mig.err_deactivated
+      | Some _ ->
+          Engine.cycles work_cycles;
+          Ok args);
+  let ports =
+    Array.init servers (fun j ->
+        let p =
+          Port.create ~name:(Printf.sprintf "svc%d" j) ~queue_limit:16 ()
+        in
+        let obj = Kobj.make ~name:(Printf.sprintf "svcobj%d" j) Kobj.No_payload in
+        (* The port's object pointer takes its own reference; keep the
+           creator's so the object outlives the drain for the final
+           refcount audit. *)
+        Kobj.reference obj;
+        Port.set_object p obj;
+        (match Port_space.insert space ~pname:(j + 1) p with
+        | Ok () -> ()
+        | Error `Name_in_use -> Engine.fatal "rpc: duplicate name");
+        (p, obj))
+  in
+  let server_threads =
+    Array.to_list
+      (Array.mapi
+         (fun j (p, _) ->
+           Engine.spawn ~name:(Printf.sprintf "server%d" j) (fun () ->
+               (* Spin-then-block with a budget that covers steady-state
+                  request gaps: an RPC server parks only when traffic
+                  actually stops (or the port dies at drain).  [spin = 0]
+                  forces the park-on-every-wait path — the chaos tests
+                  use it to make dropped wakeups lethal. *)
+               Mig.serve_loop ~batch ~spin reg p))
+         ports)
+  in
+  let drained = ref 0 in
+  let shutdown () =
+    for j = 1 to servers do
+      ignore (Port_space.remove space ~pname:j)
+    done;
+    Array.iter (fun (p, _) -> drained := !drained + Mig.drain p) ports
+  in
+  let client i () =
+    (* Mach's per-thread cached reply port: one allocation per client,
+       not one per call. *)
+    let reply_port =
+      Port.create ~name:(Printf.sprintf "reply%d" i) ~queue_limit:1 ()
+    in
+    let rec go k =
+      if k > 0 then
+        let pname = 1 + ((i + k) mod servers) in
+        match Port_space.lookup space ~pname with
+        | None ->
+            if not drain_under_load then
+              Engine.fatal "rpc: name vanished before shutdown"
+        | Some port -> (
+            let t0 = Engine.now_cycles () in
+            let r =
+              Mig.call ~poll:spin ~reply_port port ~id:1
+                [ Port.Int i; Port.Int k ]
+            in
+            Port.release port;
+            match r with
+            | Ok reply ->
+                (match reply with
+                | [ Port.Int a; Port.Int b ] when a = i && b = k -> ()
+                | _ -> Engine.fatal "rpc: reply does not echo the request");
+                Obs_metrics.observe lat (Engine.now_cycles () - t0);
+                ignore (Engine.Cell.fetch_and_add completed 1);
+                go (k - 1)
+            | Error `Dead_port when drain_under_load -> ()
+            | Error (`Server_failure code)
+              when drain_under_load && code = Mig.err_deactivated ->
+                ()
+            | Error `Dead_port -> Engine.fatal "rpc: dead port before shutdown"
+            | Error (`Server_failure code) ->
+                Engine.fatal (Printf.sprintf "rpc: server failure %d" code))
+    in
+    go calls_each;
+    Port.destroy reply_port;
+    let rc = Port.ref_count reply_port in
+    if rc <> 1 then
+      Engine.fatal
+        (Printf.sprintf "rpc: reply port refcount %d at client exit (leak)" rc);
+    Port.release reply_port
+  in
+  let client_threads =
+    List.init clients (fun i ->
+        Engine.spawn ~name:(Printf.sprintf "client%d" i) (client i))
+  in
+  let terminator =
+    if not drain_under_load then None
+    else
+      (* Deactivate mid-run, once enough calls have completed that the
+         queues are hot: what's in flight must be answered, not leaked. *)
+      let threshold = max 1 (clients * calls_each / 4) in
+      Some
+        (Engine.spawn ~name:"terminator" (fun () ->
+             Engine.spin_hint "rpc.completed";
+             (* Bounded wait: under fault injection (chaos) a client can
+                be orphaned before [threshold] completions ever happen.
+                Giving up and draining anyway converts that hang into a
+                parked waiter the deadlock analyzer can attribute — a
+                terminator spinning forever would mask it as livelock. *)
+             let budget = ref 50_000 in
+             while Engine.Cell.get completed < threshold && !budget > 0 do
+               decr budget;
+               Engine.pause ()
+             done;
+             shutdown ()))
+  in
+  List.iter Engine.join client_threads;
+  (match terminator with
+  | None -> shutdown ()
+  | Some t -> Engine.join t);
+  List.iter Engine.join server_threads;
+  let total = Engine.Cell.get completed in
+  if (not drain_under_load) && total <> clients * calls_each then
+    Engine.fatal
+      (Printf.sprintf "rpc: %d of %d calls completed" total
+         (clients * calls_each));
+  Array.iter
+    (fun (p, obj) ->
+      (* The section 4 audit: exactly the creator's reference must
+         remain on the port and on the represented object.  More is a
+         leak (some path cloned without releasing); fewer is the
+         double-free. *)
+      let pc = Port.ref_count p in
+      if pc <> 1 then
+        Engine.fatal
+          (Printf.sprintf "rpc: port %s refcount %d at shutdown (leak)"
+             (Port.name p) pc);
+      Port.release p;
+      let oc = Kobj.ref_count obj in
+      if oc <> 1 then
+        Engine.fatal
+          (Printf.sprintf "rpc: object %s refcount %d at shutdown (leak)"
+             (Kobj.name obj) oc);
+      Kobj.release obj)
+    ports;
+  (total, !drained)

@@ -131,3 +131,40 @@ val vm_cache_ops :
     [cpu_count]) workers doing [ops] read-mostly lookups each, with 1 in
     [write_every] operations evicting and refilling its page (the write
     side).  Run inside a simulation; makespan is read from run stats. *)
+
+val scache_rrw : unit -> bool
+(** The 3-cpu scache matrix cell: two readers racing one writer on one
+    {!Mach_locks.Scache_rwlock}.  Fatal if a reader and the writer (or
+    two writers) ever hold the lock concurrently; returns whether this
+    schedule interleaved the two readers, so DPOR over the cell both
+    refutes reader/writer concurrency and witnesses reader parallelism
+    with a writer contending. *)
+
+(** {1 High-throughput RPC serving (experiment E20)} *)
+
+val rpc_serve :
+  ?shards:int ->
+  ?batch:int ->
+  ?servers:int ->
+  ?clients:int ->
+  ?calls_each:int ->
+  ?work_cycles:int ->
+  ?walk_cycles:int ->
+  ?spin:int ->
+  ?drain_under_load:bool ->
+  unit ->
+  int * int
+(** [clients] (default [cpu_count - servers]) client threads each make
+    [calls_each] RPCs to [servers] (default [cpu_count / 8]) server
+    ports through the full reference protocol: name translation via a
+    [shards]-way {!Mach_ipc.Port_space} ([walk_cycles] simulated cycles
+    under the shard lock per operation), send, batched receive
+    ([batch] requests per port-lock acquisition), port-to-object
+    translation, dispatch, reply.  Shutdown drains in-flight requests
+    with [err_deactivated] replies ({!Mach_ipc.Mig.drain}) — under load
+    if [drain_under_load], after the clients finish otherwise — then
+    ([spin], default 8192, is the spin-then-block budget on both the
+    server receive and the client reply wait; 0 parks on every wait)
+    audits every port and object refcount (a leak or double-free is
+    fatal).  Latency per call is recorded in the [rpc.latency_cycles]
+    histogram.  Returns (completed RPCs, requests drained in flight). *)

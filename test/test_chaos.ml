@@ -8,6 +8,7 @@ module Config = Mach_sim.Sim_config
 module Chaos = Mach_chaos.Chaos
 module Fault = Mach_chaos.Chaos_fault
 module Cs = Mach_chaos.Chaos_scenarios
+module Scenarios = Mach_kernel.Scenarios
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -145,6 +146,56 @@ let test_scache_handoff_clean_without_faults () =
   check_bool "scache handoff never hangs uninjected" true
     (Mach_sim.Sim_explore.all_completed v)
 
+(* The E20 ride-along: shutdown drain under load with wakeup drops.  The
+   drain protocol's promise is that no client sleeps forever on its reply
+   port — every in-flight request gets an [err_deactivated] reply.  A
+   dropped reply wakeup breaks exactly that promise; the analyzer must
+   name the orphaned waiter ("never arrived") instead of the run hanging
+   silently.  The terminator's bounded give-up spin in [rpc_serve] is
+   what keeps this a sleep deadlock rather than a livelock.  [spin = 0]
+   forces every wait onto the park path — with the default spin budget a
+   dropped wakeup usually lands while the receiver is still probing and
+   is recovered for free, which is the production configuration's
+   defense but would starve this test of failures. *)
+let rpc_drain () =
+  ignore
+    (Scenarios.rpc_serve ~shards:2 ~batch:2 ~calls_each:4 ~spin:0
+       ~drain_under_load:true ())
+
+let test_rpc_drain_lost_wakeup_detected () =
+  let faults = Fault.mix ~intensity:2 [ Fault.Drop_wakeup ] in
+  let found = ref None in
+  let seed = ref 1 in
+  while !found = None && !seed <= 30 do
+    let r = Chaos.run_one ~cpus:4 ~seed:!seed ~faults rpc_drain in
+    if
+      Chaos.detected r.Chaos.detection
+      && contains r.Chaos.report "never arrived"
+    then found := Some r;
+    incr seed
+  done;
+  match !found with
+  | Some r ->
+      check_bool "classified as orphan" true (r.Chaos.detection = Chaos.Orphan);
+      check_bool "names the waiter's event" true
+        (contains r.Chaos.report "woken from event");
+      let r' = Chaos.run_one ~cpus:4 ~seed:r.Chaos.seed ~faults rpc_drain in
+      check_bool "reproducible detection" true
+        (r'.Chaos.detection = r.Chaos.detection);
+      check_bool "reproducible lost-wakeup line" true
+        (contains r'.Chaos.report "never arrived")
+  | None ->
+      Alcotest.fail "no lost wakeup during rpc drain within 30 seeds"
+
+let test_rpc_drain_clean_without_faults () =
+  let v =
+    Mach_sim.Sim_explore.run ~cpus:4
+      ~seeds:(List.init 10 (fun i -> i + 1))
+      rpc_drain
+  in
+  check_bool "rpc drain never hangs uninjected" true
+    (Mach_sim.Sim_explore.all_completed v)
+
 let test_handoff_clean_without_faults () =
   let v =
     Mach_sim.Sim_explore.run ~cpus:4
@@ -211,6 +262,10 @@ let () =
             test_scache_lost_handoff_detected;
           Alcotest.test_case "scache handoff clean uninjected" `Quick
             test_scache_handoff_clean_without_faults;
+          Alcotest.test_case "rpc drain lost wakeup" `Quick
+            test_rpc_drain_lost_wakeup_detected;
+          Alcotest.test_case "rpc drain clean uninjected" `Quick
+            test_rpc_drain_clean_without_faults;
         ] );
       ( "injection",
         [

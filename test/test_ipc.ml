@@ -174,6 +174,76 @@ let test_destroy_releases_queued_refs () =
       Port.destroy carried;
       Port.release carried)
 
+let test_receive_batch () =
+  in_sim (fun () ->
+      let p = Port.create () in
+      let msg n = { Port.msg_op = n; reply_to = None; body = [] } in
+      List.iter (fun n -> ignore (Port.send p (msg n))) [ 1; 2; 3; 4; 5 ];
+      (* One lock hold, FIFO, capped at [max]. *)
+      (match Port.receive_batch p ~max:3 with
+      | Ok ms ->
+          check_bool "first three in order" true
+            (List.map (fun m -> m.Port.msg_op) ms = [ 1; 2; 3 ])
+      | Error _ -> Alcotest.fail "batch receive failed");
+      (* A batch never over-claims: only the remainder comes back. *)
+      (match Port.receive_batch p ~max:8 with
+      | Ok ms ->
+          check_bool "remainder in order" true
+            (List.map (fun m -> m.Port.msg_op) ms = [ 4; 5 ])
+      | Error _ -> Alcotest.fail "batch receive failed");
+      (match Port.try_receive_batch p ~max:4 with
+      | Error `Would_block -> ()
+      | _ -> Alcotest.fail "empty queue must not yield a batch");
+      Port.destroy p;
+      Port.release p)
+
+let test_receive_batch_blocks_until_send () =
+  ignore
+    (Engine.run (fun () ->
+         let p = Port.create () in
+         let got = ref [] in
+         let receiver =
+           Engine.spawn ~name:"receiver" (fun () ->
+               match Port.receive_batch ~spin:0 p ~max:4 with
+               | Ok ms -> got := List.map (fun m -> m.Port.msg_op) ms
+               | Error _ -> ())
+         in
+         wait_until (fun () -> K.Ev.waiting_on receiver <> None);
+         check_bool "not yet" true (!got = []);
+         ignore (Port.send p { Port.msg_op = 6; reply_to = None; body = [] });
+         Engine.join receiver;
+         (* At least one message on Ok; a single send wakes the batch. *)
+         check_bool "woke with the message" true (!got = [ 6 ]);
+         Port.destroy p;
+         Port.release p))
+
+let test_destroy_drain_returns_in_flight () =
+  in_sim (fun () ->
+      let p = Port.create () in
+      let carried = Port.create ~name:"carried" () in
+      let base = Port.ref_count carried in
+      ignore
+        (Port.send p
+           {
+             Port.msg_op = 1;
+             reply_to = None;
+             body = [ Port.Port_right carried ];
+           });
+      ignore (Port.send p { Port.msg_op = 2; reply_to = None; body = [] });
+      let drained = Port.destroy_drain p in
+      check_bool "port is dead" true (not (Port.is_active p));
+      check_int "both in-flight messages returned" 2 (List.length drained);
+      check_bool "FIFO order preserved" true
+        (List.map (fun m -> m.Port.msg_op) drained = [ 1; 2 ]);
+      (* The caller now owns the carried rights and must destroy them. *)
+      check_int "carried right survives the drain" (base + 1)
+        (Port.ref_count carried);
+      List.iter Port.destroy_message drained;
+      check_int "right released with message" base (Port.ref_count carried);
+      Port.release p;
+      Port.destroy carried;
+      Port.release carried)
+
 (* ------------------------------------------------------------------ *)
 (* MiG RPC                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -244,6 +314,89 @@ let test_rpc_object_reference_management () =
          Port.release service;
          Kobj.release obj))
 
+let test_rpc_batched_server () =
+  ignore
+    (Engine.run (fun () ->
+         let reg = Mig.make_registry () in
+         Mig.register reg ~id:1 ~name:"double" (fun _obj args ->
+             match args with
+             | [ Port.Int n ] -> Ok [ Port.Int (2 * n) ]
+             | _ -> Error Mig.err_bad_arguments);
+         let service = Port.create ~name:"service" () in
+         let stop = ref false in
+         let server =
+           Engine.spawn ~name:"server" (fun () ->
+               Mig.serve_loop ~stop:(fun () -> !stop) ~batch:4 reg service)
+         in
+         let clients =
+           List.init 3 (fun i ->
+               Engine.spawn ~name:(Printf.sprintf "c%d" i) (fun () ->
+                   for n = 1 to 5 do
+                     match Mig.call service ~id:1 [ Port.Int n ] with
+                     | Ok [ Port.Int r ] when r = 2 * n -> ()
+                     | _ -> Engine.fatal "batched rpc wrong reply"
+                   done))
+         in
+         List.iter Engine.join clients;
+         stop := true;
+         Port.destroy service;
+         Engine.join server;
+         Port.release service))
+
+let test_rpc_cached_reply_port () =
+  ignore
+    (Engine.run (fun () ->
+         let reg = Mig.make_registry () in
+         Mig.register reg ~id:1 ~name:"echo" (fun _obj args -> Ok args);
+         let service = Port.create ~name:"service" () in
+         let stop = ref false in
+         let server =
+           Engine.spawn ~name:"server" (fun () ->
+               Mig.serve_loop ~stop:(fun () -> !stop) reg service)
+         in
+         (* One reply port reused across calls — the per-call
+            create/destroy disappears from the client's hot path. *)
+         let reply_port = Port.create ~name:"reply" ~queue_limit:1 () in
+         let base = Port.ref_count reply_port in
+         for n = 1 to 4 do
+           match Mig.call ~reply_port service ~id:1 [ Port.Int n ] with
+           | Ok [ Port.Int r ] when r = n -> ()
+           | _ -> Engine.fatal "cached-reply rpc failed"
+         done;
+         check_bool "reply port still live" true (Port.is_active reply_port);
+         check_int "no reply-port references leaked across calls" base
+           (Port.ref_count reply_port);
+         stop := true;
+         Port.destroy service;
+         Engine.join server;
+         Port.release service;
+         Port.destroy reply_port;
+         Port.release reply_port))
+
+let test_rpc_drain_answers_in_flight () =
+  ignore
+    (Engine.run (fun () ->
+         let reg = Mig.make_registry () in
+         Mig.register reg ~id:1 ~name:"echo" (fun _obj args -> Ok args);
+         let service = Port.create ~name:"service" () in
+         let outcome = ref None in
+         let client =
+           Engine.spawn ~name:"client" (fun () ->
+               outcome := Some (Mig.call ~poll:0 service ~id:1 [ Port.Int 7 ]))
+         in
+         (* Let the request land in the queue with no server running,
+            then drain: the client must get err_deactivated, not sleep
+            forever on its reply port. *)
+         wait_until (fun () -> Port.queued service > 0);
+         let n = Mig.drain service in
+         check_int "one in-flight request drained" 1 n;
+         Engine.join client;
+         (match !outcome with
+         | Some (Error (`Server_failure code)) ->
+             check_int "deactivated" Mig.err_deactivated code
+         | _ -> Alcotest.fail "drained client not answered err_deactivated");
+         Port.release service))
+
 let test_concurrent_senders_receivers_explored () =
   let v =
     Explore.run ~cpus:4
@@ -297,6 +450,11 @@ let () =
           Alcotest.test_case "dead port" `Quick test_dead_port_fails;
           Alcotest.test_case "destroy wakes receiver" `Quick
             test_destroy_wakes_blocked_receiver;
+          Alcotest.test_case "batched receive" `Quick test_receive_batch;
+          Alcotest.test_case "batched receive blocks" `Quick
+            test_receive_batch_blocks_until_send;
+          Alcotest.test_case "destroy_drain returns in-flight" `Quick
+            test_destroy_drain_returns_in_flight;
         ] );
       ( "references",
         [
@@ -312,6 +470,11 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
           Alcotest.test_case "object reference management" `Quick
             test_rpc_object_reference_management;
+          Alcotest.test_case "batched server" `Quick test_rpc_batched_server;
+          Alcotest.test_case "cached reply port" `Quick
+            test_rpc_cached_reply_port;
+          Alcotest.test_case "drain answers in-flight" `Quick
+            test_rpc_drain_answers_in_flight;
           Alcotest.test_case "concurrent senders/receivers" `Quick
             test_concurrent_senders_receivers_explored;
         ] );

@@ -227,6 +227,27 @@ let test_range_map_fault_vs_deallocate () =
       check_bool (label ^ ": verified") true r.Mc.verified)
     [ false; true ]
 
+(* ------------------------------------------------------------------ *)
+(* Scache matrix at 3 cpus: two readers racing one writer               *)
+(* ------------------------------------------------------------------ *)
+
+(* The 2-cpu scache cells (cache-smoke) cannot show reader parallelism
+   WITH a writer contending — their reader-parallel cell has no writer
+   in the mix.  This cell model-checks exactly that: over every 3-cpu
+   schedule no reader ever overlaps the writer (verified), and at least
+   one schedule interleaves the two readers' holds (witnessed).  Same
+   witness-ref-outside-the-closure pattern as the range matrix. *)
+let test_scache_rrw_matrix () =
+  let witnessed = ref false in
+  let r =
+    Mc.check ~cpus:3 (fun () ->
+        if Scenarios.scache_rrw () then witnessed := true)
+  in
+  check_bool "complete" true r.Mc.complete;
+  check_bool "verified (no reader/writer overlap on any schedule)" true
+    r.Mc.verified;
+  check_bool "some schedule interleaves the two readers" true !witnessed
+
 let test_faults_excluded () =
   let cfg =
     {
@@ -271,6 +292,11 @@ let () =
             test_range_matrix_disjoint_interleaves;
           Alcotest.test_case "fault vs deallocate on a Range map" `Quick
             test_range_map_fault_vs_deallocate;
+        ] );
+      ( "scache matrix",
+        [
+          Alcotest.test_case "3-cpu two readers vs one writer" `Slow
+            test_scache_rrw_matrix;
         ] );
       ( "mechanics",
         [

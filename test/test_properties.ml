@@ -575,6 +575,86 @@ let cache_conformance locking script =
       ok && Vm_cache.resident cache = 0)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded port name space vs the single-table space, in lockstep       *)
+(* ------------------------------------------------------------------ *)
+
+module Port = Mach_ipc.Port
+module Port_space = Mach_ipc.Port_space
+
+(* One op script drives a 4-shard space and the single-table reference
+   space; every observable must agree after every op.  The same ports
+   are registered in both, so lookups must return identical identities,
+   and a destroy-while-registered (the dead-name race a server
+   termination creates) must be lazily purged by BOTH spaces' next
+   lookup.  The final audit is the section 4 balance: after clearing
+   both tables every surviving port is back to exactly its creator's
+   reference — one table leaking or double-releasing its reference
+   cannot pass. *)
+let port_space_lockstep script =
+  in_sim (fun () ->
+      let s4 = Port_space.create ~name:"ls.sharded" ~shards:4 () in
+      let s1 = Port_space.create ~name:"ls.flat" ~shards:1 () in
+      let created = ref [] in
+      let step choice =
+        let pname = 1 + (choice mod 4) in
+        match choice mod 5 with
+        | 0 -> (
+            let p = Port.create ~name:(Printf.sprintf "p%d" pname) () in
+            match
+              (Port_space.insert s4 ~pname p, Port_space.insert s1 ~pname p)
+            with
+            | Ok (), Ok () ->
+                created := p :: !created;
+                true
+            | Error `Name_in_use, Error `Name_in_use ->
+                Port.release p;
+                true
+            | _ ->
+                Port.release p;
+                false)
+        | 1 -> (
+            match
+              (Port_space.lookup s4 ~pname, Port_space.lookup s1 ~pname)
+            with
+            | Some a, Some b ->
+                let ok = Port.uid a = Port.uid b && Port.is_active a in
+                Port.release a;
+                Port.release b;
+                ok
+            | None, None -> true
+            | Some a, None ->
+                Port.release a;
+                false
+            | None, Some b ->
+                Port.release b;
+                false)
+        | 2 -> Port_space.remove s4 ~pname = Port_space.remove s1 ~pname
+        | 3 -> (
+            (* the dead-name race: kill a registered port in place; both
+               spaces must purge it on their next lookup *)
+            match Port_space.lookup s4 ~pname with
+            | Some p ->
+                Port.destroy p;
+                Port.release p;
+                Port_space.lookup s4 ~pname = None
+                && Port_space.lookup s1 ~pname = None
+            | None -> true)
+        | _ -> Port_space.size s4 = Port_space.size s1
+      in
+      let ok = List.for_all step script in
+      Port_space.clear s4;
+      Port_space.clear s1;
+      let balanced =
+        List.for_all
+          (fun p ->
+            let one = Port.ref_count p = 1 in
+            Port.release p;
+            one)
+          !created
+      in
+      ok && balanced)
+
+(* ------------------------------------------------------------------ *)
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
@@ -612,6 +692,8 @@ let qcheck_cases =
         (cache_conformance Vm_cache.Brlock_rw);
       prop "vm_cache (mutex) conforms to assoc model" (script_gen 50)
         (cache_conformance Vm_cache.Mutex);
+      prop "port space lockstep: sharded == single table" (script_gen 60)
+        port_space_lockstep;
     ]
 
 let () = Alcotest.run "properties" [ ("models", qcheck_cases) ]
